@@ -1,0 +1,80 @@
+// Shared plumbing for the figure-reproduction benchmark binaries.
+//
+// Every harness prints the same row format and honours the same environment
+// knobs, so a full run (`for b in build/bench/*; do $b; done`) produces a
+// coherent report:
+//
+//   LFST_BENCH_OPS     total operations per trial      (default 400000)
+//   LFST_BENCH_TRIALS  repetitions per configuration   (default 3; paper 64)
+//   LFST_BENCH_THREADS comma-separated thread counts   (default "1,2,4,8")
+//
+// The defaults are sized for a small CI-class machine; raising OPS/TRIALS
+// toward the paper's 5M x 64 sharpens the statistics without changing the
+// harness.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/table.hpp"
+#include "workload/workload.hpp"
+
+namespace lfst::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+inline std::vector<int> env_threads(const char* name,
+                                    std::vector<int> fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  std::vector<int> out;
+  for (const char* p = v; *p != '\0';) {
+    out.push_back(std::atoi(p));
+    const char* comma = std::strchr(p, ',');
+    if (comma == nullptr) break;
+    p = comma + 1;
+  }
+  return out.empty() ? fallback : out;
+}
+
+struct bench_config {
+  std::size_t ops = 400000;
+  int trials = 3;
+  std::vector<int> threads{1, 2, 4, 8};
+
+  static bench_config from_env() {
+    bench_config c;
+    c.ops = env_size("LFST_BENCH_OPS", c.ops);
+    c.trials = static_cast<int>(env_size("LFST_BENCH_TRIALS",
+                                         static_cast<std::size_t>(c.trials)));
+    c.threads = env_threads("LFST_BENCH_THREADS", c.threads);
+    return c;
+  }
+};
+
+inline const char* mix_name(const workload::mix& m) {
+  return m.contains_pct >= 60 ? "90c/9a/1r" : "33c/33a/33r";
+}
+
+inline std::string range_name(std::uint64_t range) {
+  if (range == workload::kRangeSmall) return "500";
+  if (range == workload::kRangeMedium) return "200,000";
+  if (range == workload::kRangeLarge) return "2^32";
+  return std::to_string(range);
+}
+
+inline void print_header(const char* what, const bench_config& c) {
+  std::printf("== %s ==\n", what);
+  std::printf("ops/trial=%zu trials=%d (override with LFST_BENCH_OPS / "
+              "LFST_BENCH_TRIALS / LFST_BENCH_THREADS)\n\n",
+              c.ops, c.trials);
+}
+
+}  // namespace lfst::bench

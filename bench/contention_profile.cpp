@@ -1,0 +1,65 @@
+// Contention profile: CAS-failure rate vs thread count and working-set
+// size.
+//
+// Figure 9's small-working-set panels (max size 500) are dominated by CAS
+// contention: with only a handful of nodes, concurrent writers keep
+// invalidating each other's payload snapshots.  This harness measures the
+// skip-tree's lost-CAS rate directly across thread counts and key ranges,
+// the microscopic view of the macroscopic throughput curves.
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "skiptree/skip_tree.hpp"
+
+int main() {
+  using lfst::bench::bench_config;
+  using lfst::workload::scenario;
+  const bench_config cfg = bench_config::from_env();
+  lfst::bench::print_header(
+      "Contention profile: skip-tree lost-CAS rate (write-dominated mix)",
+      cfg);
+
+  lfst::workload::table tab({"range", "threads", "ops/ms", "CAS failures",
+                             "failures per 1k ops"});
+  for (const std::uint64_t range :
+       {lfst::workload::kRangeSmall, lfst::workload::kRangeMedium,
+        lfst::workload::kRangeLarge}) {
+    for (const int threads : cfg.threads) {
+      scenario sc;
+      sc.operations = lfst::workload::kWriteDominated;
+      sc.key_range = range;
+      sc.total_ops = cfg.ops;
+      sc.threads = threads;
+      sc.seed = 0xca5 + static_cast<std::uint64_t>(threads);
+
+      lfst::skiptree::skip_tree_options o;
+      o.q_log2 = 5;
+      auto set = std::make_unique<lfst::skiptree::skip_tree<long>>(o);
+      std::vector<std::vector<lfst::workload::op>> streams;
+      for (int tid = 0; tid < threads; ++tid) {
+        streams.push_back(lfst::workload::make_op_stream(sc, sc.seed, tid));
+      }
+      lfst::workload::preload(*set, streams);
+      const auto before = set->stats().cas_failures;
+      const auto r = lfst::workload::execute_trial(*set, streams);
+      const auto failures = set->stats().cas_failures - before;
+      tab.add_row(
+          {lfst::bench::range_name(range), std::to_string(threads),
+           lfst::workload::table::fmt(r.ops_per_ms, 0),
+           std::to_string(failures),
+           lfst::workload::table::fmt(
+               1000.0 * static_cast<double>(failures) /
+                   static_cast<double>(cfg.ops),
+               2)});
+    }
+  }
+  tab.print();
+  std::printf("\nexpected shape on parallel hardware: failure rate rises "
+              "with threads and falls with\nrange (the small working set "
+              "concentrates writers on a handful of payload words).\nOn an "
+              "oversubscribed single core, failures stay near zero: threads "
+              "are rarely\npreempted inside the read-CAS window, which is "
+              "also why Figure 9's contention\ncollapse is muted there.\n");
+  return 0;
+}

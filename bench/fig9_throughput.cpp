@@ -1,0 +1,145 @@
+// Figure 9 reproduction: total throughput (operations/ms) of the four
+// concurrent ordered sets across thread counts, for the six panels of the
+// paper's evaluation -- {90% contains / 9% add / 1% remove, 1/3 : 1/3 : 1/3}
+// x {max size 500, 200,000, 2^32}.
+//
+// Structure parameters are the paper's tuned values: skip-tree q = 1/32,
+// B-link tree M = 128 (Sec. V).  After the six panels the harness prints
+// the summary ratios the paper quotes in the text (skip-tree vs skip-list
+// average +41%, +129% on the large read-dominated panel, etc.) computed
+// from THIS run's numbers, so the shape comparison is self-contained.
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "avltree/opt_tree.hpp"
+#include "bench_common.hpp"
+#include "blinktree/blink_tree.hpp"
+#include "skiplist/skip_list.hpp"
+#include "skiptree/skip_tree.hpp"
+
+namespace {
+
+using lfst::bench::bench_config;
+using lfst::summary;
+using lfst::workload::scenario;
+
+using key = long;
+
+std::unique_ptr<lfst::skiptree::skip_tree<key>> make_skip_tree() {
+  lfst::skiptree::skip_tree_options o;
+  o.q_log2 = 5;  // q = 1/32, the paper's best value
+  return std::make_unique<lfst::skiptree::skip_tree<key>>(o);
+}
+
+std::unique_ptr<lfst::skiplist::skip_list<key>> make_skip_list() {
+  return std::make_unique<lfst::skiplist::skip_list<key>>();
+}
+
+std::unique_ptr<lfst::avltree::opt_tree<key>> make_opt_tree() {
+  return std::make_unique<lfst::avltree::opt_tree<key>>();
+}
+
+std::unique_ptr<lfst::blinktree::blink_tree<key>> make_blink_tree() {
+  lfst::blinktree::blink_tree_options o;
+  o.min_node_size = 128;  // the paper's best value
+  return std::make_unique<lfst::blinktree::blink_tree<key>>(o);
+}
+
+struct entry {
+  const char* name;
+  std::function<summary(const scenario&)> run;
+};
+
+}  // namespace
+
+int main() {
+  const bench_config cfg = bench_config::from_env();
+  lfst::bench::print_header("Figure 9: throughput vs thread count", cfg);
+
+  const std::vector<entry> structures = {
+      {"skip-tree",
+       [](const scenario& sc) { return lfst::workload::run_scenario(sc, make_skip_tree); }},
+      {"skip-list",
+       [](const scenario& sc) { return lfst::workload::run_scenario(sc, make_skip_list); }},
+      {"opt-tree",
+       [](const scenario& sc) { return lfst::workload::run_scenario(sc, make_opt_tree); }},
+      {"b-link-tree",
+       [](const scenario& sc) { return lfst::workload::run_scenario(sc, make_blink_tree); }},
+  };
+
+  const std::vector<lfst::workload::mix> mixes = {
+      lfst::workload::kReadDominated, lfst::workload::kWriteDominated};
+  const std::vector<std::uint64_t> ranges = {lfst::workload::kRangeSmall,
+                                             lfst::workload::kRangeMedium,
+                                             lfst::workload::kRangeLarge};
+
+  // mean ops/ms per (structure, panel, threads) for the summary ratios.
+  std::map<std::string, std::vector<double>> vs_skiplist_ratio;
+  double large_read_skiptree = 0.0;
+  double large_read_skiplist = 0.0;
+
+  for (const auto& m : mixes) {
+    for (const auto range : ranges) {
+      std::printf("-- panel: %s contains/add/remove, max size %s --\n",
+                  lfst::bench::mix_name(m),
+                  lfst::bench::range_name(range).c_str());
+      lfst::workload::table tab(
+          {"threads", "skip-tree", "skip-list", "opt-tree", "b-link-tree",
+           "(ops/ms, mean +/- stddev)"});
+      for (const int threads : cfg.threads) {
+        scenario sc;
+        sc.operations = m;
+        sc.key_range = range;
+        sc.total_ops = cfg.ops;
+        sc.threads = threads;
+        sc.trials = cfg.trials;
+        sc.seed = 0x919 + static_cast<std::uint64_t>(threads);
+
+        std::vector<std::string> row{std::to_string(threads)};
+        double skiplist_mean = 0.0;
+        std::map<std::string, double> means;
+        for (const entry& e : structures) {
+          const summary s = e.run(sc);
+          means[e.name] = s.mean;
+          if (std::string(e.name) == "skip-list") skiplist_mean = s.mean;
+          row.push_back(lfst::workload::table::fmt(s.mean, 0) + " +/- " +
+                        lfst::workload::table::fmt(s.stddev, 0));
+        }
+        row.emplace_back("");
+        tab.add_row(row);
+        for (const entry& e : structures) {
+          if (std::string(e.name) != "skip-list" && skiplist_mean > 0.0) {
+            vs_skiplist_ratio[e.name].push_back(means[e.name] / skiplist_mean);
+          }
+        }
+        if (m.contains_pct >= 60 && range == lfst::workload::kRangeLarge &&
+            threads == cfg.threads.back()) {
+          large_read_skiptree = means["skip-tree"];
+          large_read_skiplist = skiplist_mean;
+        }
+      }
+      tab.print();
+      std::printf("\n");
+    }
+  }
+
+  std::printf("-- summary ratios (paper Sec. V quotes, recomputed from this "
+              "run) --\n");
+  for (const auto& [name, ratios] : vs_skiplist_ratio) {
+    double sum = 0.0;
+    for (double r : ratios) sum += r;
+    const double avg = sum / static_cast<double>(ratios.size());
+    std::printf("%-12s vs skip-list, averaged over all panels/threads: %+.0f%%"
+                " (paper: skip-tree +41%%, opt-tree +26%%)\n",
+                name.c_str(), (avg - 1.0) * 100.0);
+  }
+  if (large_read_skiplist > 0.0) {
+    std::printf("skip-tree vs skip-list, large read-dominated panel at max "
+                "threads: %+.0f%% (paper: +129%%)\n",
+                (large_read_skiptree / large_read_skiplist - 1.0) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Google-benchmark microbenchmarks: per-operation cost of contains / add /
+// remove for each structure across working-set sizes.  These are not a
+// paper figure; they localize WHERE the Figure 9 differences come from
+// (e.g. the skip-list's pointer-chase per element vs the skip-tree's packed
+// nodes as the working set leaves cache).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "avltree/opt_tree.hpp"
+#include "avltree/snap_tree.hpp"
+#include "blinktree/blink_tree.hpp"
+#include "common/rng.hpp"
+#include "skiplist/skip_list.hpp"
+#include "skiptree/skip_tree.hpp"
+
+namespace {
+
+using key = long;
+
+template <typename Set>
+std::unique_ptr<Set> make_set() {
+  return std::make_unique<Set>();
+}
+
+template <>
+std::unique_ptr<lfst::skiptree::skip_tree<key>> make_set() {
+  lfst::skiptree::skip_tree_options o;
+  o.q_log2 = 5;
+  return std::make_unique<lfst::skiptree::skip_tree<key>>(o);
+}
+
+template <>
+std::unique_ptr<lfst::blinktree::blink_tree<key>> make_set() {
+  lfst::blinktree::blink_tree_options o;
+  o.min_node_size = 128;
+  return std::make_unique<lfst::blinktree::blink_tree<key>>(o);
+}
+
+/// Pre-fill with `size` random keys from a range 4x the size (so about half
+/// of the probe keys hit).
+template <typename Set>
+std::uint64_t prefill(Set& set, std::int64_t size) {
+  lfst::xoshiro256ss rng(0xf111);
+  const std::uint64_t range = static_cast<std::uint64_t>(size) * 4;
+  for (std::int64_t i = 0; i < size; ++i) {
+    set.add(static_cast<key>(rng.below(range)));
+  }
+  return range;
+}
+
+template <typename Set>
+void BM_Contains(benchmark::State& state) {
+  auto set = make_set<Set>();
+  const std::uint64_t range = prefill(*set, state.range(0));
+  lfst::xoshiro256ss rng(0xc0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        set->contains(static_cast<key>(rng.below(range))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+template <typename Set>
+void BM_AddRemoveCycle(benchmark::State& state) {
+  auto set = make_set<Set>();
+  const std::uint64_t range = prefill(*set, state.range(0));
+  lfst::xoshiro256ss rng(0xad);
+  for (auto _ : state) {
+    const key k = static_cast<key>(rng.below(range));
+    benchmark::DoNotOptimize(set->add(k));
+    benchmark::DoNotOptimize(set->remove(k));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+
+template <typename Set>
+void BM_Iterate(benchmark::State& state) {
+  auto set = make_set<Set>();
+  prefill(*set, state.range(0));
+  for (auto _ : state) {
+    std::uint64_t n = 0;
+    set->for_each([&](const key&) { ++n; });
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+constexpr std::int64_t kSmall = 1 << 10;
+constexpr std::int64_t kMedium = 1 << 16;
+constexpr std::int64_t kLarge = 1 << 20;
+
+// Fixed iteration counts: benchmark's automatic calibration would re-enter
+// the benchmark function (and so redo the expensive prefill) several times
+// per case.
+#define LFST_BENCH_SET(fn, iters)                                       \
+  BENCHMARK_TEMPLATE(fn, lfst::skiptree::skip_tree<key>)                \
+      ->Arg(kSmall)->Arg(kMedium)->Arg(kLarge)->Iterations(iters);      \
+  BENCHMARK_TEMPLATE(fn, lfst::skiplist::skip_list<key>)                \
+      ->Arg(kSmall)->Arg(kMedium)->Arg(kLarge)->Iterations(iters);      \
+  BENCHMARK_TEMPLATE(fn, lfst::avltree::opt_tree<key>)                  \
+      ->Arg(kSmall)->Arg(kMedium)->Arg(kLarge)->Iterations(iters);      \
+  BENCHMARK_TEMPLATE(fn, lfst::blinktree::blink_tree<key>)              \
+      ->Arg(kSmall)->Arg(kMedium)->Arg(kLarge)->Iterations(iters);
+
+LFST_BENCH_SET(BM_Contains, 300000)
+LFST_BENCH_SET(BM_AddRemoveCycle, 100000)
+
+// Iteration also includes the snap-tree (the Figure 10 participant).
+BENCHMARK_TEMPLATE(BM_Iterate, lfst::skiptree::skip_tree<key>)
+    ->Arg(kMedium)->Arg(kLarge)->Iterations(8);
+BENCHMARK_TEMPLATE(BM_Iterate, lfst::skiplist::skip_list<key>)
+    ->Arg(kMedium)->Arg(kLarge)->Iterations(8);
+BENCHMARK_TEMPLATE(BM_Iterate, lfst::avltree::snap_tree<key>)
+    ->Arg(kMedium)->Arg(kLarge)->Iterations(8);
+BENCHMARK_TEMPLATE(BM_Iterate, lfst::blinktree::blink_tree<key>)
+    ->Arg(kMedium)->Arg(kLarge)->Iterations(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+// Limit-order-book price index: heavy add/remove churn plus ordered scans.
+//
+// A matching engine needs the set of active price levels on each side of
+// the book, ordered, under concurrent mutation: makers add/cancel levels
+// while the matcher repeatedly reads the best bid/ask and scans the top of
+// the book.  The skip-tree's ordered iteration with early exit
+// (for_each_while) makes best-price queries cheap, and its lock-free
+// mutations keep makers from stalling the matcher.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "skiptree/skip_tree.hpp"
+
+namespace {
+
+// Prices in ticks.  Bids are stored negated so that "best bid" (highest
+// price) is the first element in ascending order, symmetrical with asks.
+using price_t = long;
+
+struct book {
+  lfst::skiptree::skip_tree<price_t> bids;  // negated prices
+  lfst::skiptree::skip_tree<price_t> asks;
+
+  void add_bid(price_t p) { bids.add(-p); }
+  void cancel_bid(price_t p) { bids.remove(-p); }
+  void add_ask(price_t p) { asks.add(p); }
+  void cancel_ask(price_t p) { asks.remove(p); }
+
+  bool best_bid(price_t& out) const {
+    bool found = false;
+    bids.for_each_while([&](price_t p) {
+      out = -p;
+      found = true;
+      return false;
+    });
+    return found;
+  }
+
+  bool best_ask(price_t& out) const {
+    bool found = false;
+    asks.for_each_while([&](price_t p) {
+      out = p;
+      found = true;
+      return false;
+    });
+    return found;
+  }
+
+  /// Sum of the top `depth` ask levels (a "sweep cost" estimate).
+  price_t sweep_cost(int depth) const {
+    price_t sum = 0;
+    int n = 0;
+    asks.for_each_while([&](price_t p) {
+      sum += p;
+      return ++n < depth;
+    });
+    return sum;
+  }
+};
+
+}  // namespace
+
+int main() {
+  constexpr price_t kMid = 1000000;
+  constexpr price_t kBand = 5000;  // active levels live in [mid-band, mid+band]
+  constexpr int kMakers = 4;
+  constexpr int kOpsPerMaker = 300000;
+
+  book bk;
+  // Seed both sides.
+  for (price_t p = 1; p <= 200; ++p) {
+    bk.add_bid(kMid - p);
+    bk.add_ask(kMid + p);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> quotes{0};
+  std::atomic<std::uint64_t> crossed{0};
+
+  // The matcher: continuously reads the touch and the top-of-book sweep.
+  std::thread matcher([&] {
+    std::uint64_t local_quotes = 0;
+    std::uint64_t local_crossed = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      price_t bid = 0;
+      price_t ask = 0;
+      if (bk.best_bid(bid) && bk.best_ask(ask)) {
+        ++local_quotes;
+        if (bid >= ask) ++local_crossed;  // transient, makers race
+        bk.sweep_cost(16);
+      }
+    }
+    quotes.store(local_quotes);
+    crossed.store(local_crossed);
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> makers;
+  for (int m = 0; m < kMakers; ++m) {
+    makers.emplace_back([&, m] {
+      lfst::xoshiro256ss rng(lfst::thread_seed(33, static_cast<std::uint64_t>(m)));
+      for (int i = 0; i < kOpsPerMaker; ++i) {
+        const price_t off = static_cast<price_t>(1 + rng.below(kBand));
+        switch (rng.below(4)) {
+          case 0: bk.add_bid(kMid - off); break;
+          case 1: bk.cancel_bid(kMid - off); break;
+          case 2: bk.add_ask(kMid + off); break;
+          default: bk.cancel_ask(kMid + off); break;
+        }
+      }
+    });
+  }
+  for (auto& th : makers) th.join();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  stop.store(true, std::memory_order_release);
+  matcher.join();
+
+  price_t bid = 0;
+  price_t ask = 0;
+  bk.best_bid(bid);
+  bk.best_ask(ask);
+  std::printf("%d makers, %d ops each, in %.0f ms (%.0f maker-ops/ms)\n",
+              kMakers, kOpsPerMaker, ms,
+              kMakers * static_cast<double>(kOpsPerMaker) / ms);
+  std::printf("final touch: bid %ld / ask %ld (spread %ld ticks)\n", bid, ask,
+              ask - bid);
+  std::printf("matcher read %llu quotes concurrently (%llu transiently "
+              "crossed)\n",
+              static_cast<unsigned long long>(quotes.load()),
+              static_cast<unsigned long long>(crossed.load()));
+  std::printf("levels resident: %zu bids, %zu asks\n", bk.bids.size(),
+              bk.asks.size());
+  return 0;
+}

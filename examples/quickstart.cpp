@@ -1,0 +1,60 @@
+// Quickstart: the lock-free skip-tree public API in one file.
+//
+//   build/examples/quickstart
+//
+// Demonstrates construction, the three core operations, iteration, options,
+// and concurrent use from several threads.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "skiptree/skip_tree.hpp"
+
+int main() {
+  // A concurrent ordered set of ints with the paper's tuning (q = 1/32).
+  lfst::skiptree::skip_tree_options options;
+  options.q_log2 = 5;
+  lfst::skiptree::skip_tree<int> set(options);
+
+  // add() returns false for duplicates; remove() returns false for misses;
+  // contains() is wait-free.
+  set.add(30);
+  set.add(10);
+  set.add(20);
+  std::printf("add(10) again -> %s\n", set.add(10) ? "true" : "false");
+  std::printf("contains(20)  -> %s\n", set.contains(20) ? "true" : "false");
+  set.remove(20);
+  std::printf("contains(20) after remove -> %s\n",
+              set.contains(20) ? "true" : "false");
+
+  // Ascending, weakly-consistent iteration.
+  std::printf("members:");
+  set.for_each([](int k) { std::printf(" %d", k); });
+  std::printf("\n");
+
+  // Concurrent use needs no external synchronization; operations are
+  // lock-free (add/remove) and wait-free (contains).
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&set, t] {
+      for (int i = 0; i < 25000; ++i) {
+        set.add(t * 25000 + i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::printf("after 4 threads x 25k inserts: size = %zu, height = %d\n",
+              set.size(), set.height());
+
+  // Early-exit scans: find the first member above a threshold.
+  int first_above = -1;
+  set.for_each_while([&](int k) {
+    if (k > 99990) {
+      first_above = k;
+      return false;  // stop
+    }
+    return true;
+  });
+  std::printf("first member > 99990: %d\n", first_above);
+  return 0;
+}

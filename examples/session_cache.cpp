@@ -1,0 +1,138 @@
+// Session cache with TTL expiry: the map and priority-queue layers working
+// together.
+//
+// Web frontends keep a shared session table: lookups dominate (every
+// request), inserts happen at login, and a reaper evicts expired sessions.
+// The skip-tree map gives wait-free lookups over a large table; the
+// priority queue orders sessions by expiry so the reaper pops only what is
+// due, never scanning the table.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "skiptree/skip_tree_map.hpp"
+#include "skiptree/skip_tree_pqueue.hpp"
+
+namespace {
+
+struct session {
+  std::uint64_t user = 0;
+  std::uint64_t expires_at = 0;  // logical clock tick
+};
+
+struct cache {
+  lfst::skiptree::skip_tree_map<std::uint64_t, session> table;  // id -> session
+  // (expiry tick, session id): unique pairs order the reaping schedule.
+  lfst::skiptree::skip_tree_pqueue<std::pair<std::uint64_t, std::uint64_t>>
+      expiry;
+
+  void login(std::uint64_t id, std::uint64_t user, std::uint64_t deadline) {
+    table.insert_or_assign(id, session{user, deadline});
+    expiry.push({deadline, id});
+  }
+
+  bool authenticate(std::uint64_t id, std::uint64_t now) {
+    session s;
+    return table.get(id, s) && s.expires_at > now;
+  }
+
+  /// Evict everything due at or before `now`; returns evictions performed.
+  std::size_t reap(std::uint64_t now) {
+    std::size_t evicted = 0;
+    std::pair<std::uint64_t, std::uint64_t> due;
+    while (expiry.peek_min(due) && due.first <= now) {
+      if (!expiry.try_pop_min(due)) continue;
+      if (due.first > now) {  // popped a fresher deadline: requeue
+        expiry.push(due);
+        break;
+      }
+      // The session may have been refreshed (insert_or_assign with a later
+      // deadline): only evict if the stored deadline is still the due one.
+      session s;
+      if (table.get(due.second, s) && s.expires_at == due.first) {
+        table.erase(due.second);
+        ++evicted;
+      }
+      // Stale queue entries for refreshed sessions are simply dropped.
+    }
+    return evicted;
+  }
+};
+
+}  // namespace
+
+int main() {
+  cache c;
+  std::atomic<std::uint64_t> clock_tick{0};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> auth_ok{0};
+  std::atomic<std::uint64_t> auth_fail{0};
+  std::atomic<std::uint64_t> evictions{0};
+
+  constexpr int kFrontends = 4;
+  constexpr std::uint64_t kIds = 50000;
+  constexpr std::uint64_t kTtl = 200000;  // ticks = requests; ~1/6 of the run
+
+  // Seed some sessions.
+  for (std::uint64_t id = 0; id < kIds / 4; ++id) {
+    c.login(id, id * 31, kTtl / 2 + id % kTtl);
+  }
+
+  // The reaper evicts whatever has come due.  The logical clock is driven
+  // by request traffic (each request is one tick), so the demo behaves the
+  // same whether or not the reaper thread gets generous scheduling.
+  std::thread reaper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      evictions.fetch_add(c.reap(clock_tick.load(std::memory_order_relaxed)));
+      std::this_thread::yield();
+    }
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> frontends;
+  for (int f = 0; f < kFrontends; ++f) {
+    frontends.emplace_back([&, f] {
+      lfst::xoshiro256ss rng(lfst::thread_seed(17, static_cast<std::uint64_t>(f)));
+      for (int i = 0; i < 300000; ++i) {
+        const std::uint64_t id = rng.below(kIds);
+        const std::uint64_t now =
+            clock_tick.fetch_add(1, std::memory_order_relaxed);
+        if (rng.below(10) == 0) {
+          c.login(id, id * 31, now + kTtl);  // login / refresh
+        } else {
+          if (c.authenticate(id, now)) {
+            auth_ok.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            auth_fail.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : frontends) th.join();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  stop.store(true, std::memory_order_release);
+  reaper.join();
+
+  const std::uint64_t requests = auth_ok.load() + auth_fail.load();
+  std::printf("%d frontends, %.0f ms, %.0f requests/ms\n", kFrontends, ms,
+              static_cast<double>(requests) / ms);
+  std::printf("authenticated: %llu ok, %llu expired/unknown\n",
+              static_cast<unsigned long long>(auth_ok.load()),
+              static_cast<unsigned long long>(auth_fail.load()));
+  std::printf("reaper evicted %llu sessions; %zu live, %zu scheduled "
+              "(clock reached %llu)\n",
+              static_cast<unsigned long long>(evictions.load()),
+              c.table.size(), c.expiry.size(),
+              static_cast<unsigned long long>(clock_tick.load()));
+  // Final sweep: advance far past every deadline; everything must drain.
+  const std::size_t final_sweep = c.reap(clock_tick.load() + 10 * kTtl);
+  std::printf("final sweep evicted %zu; %zu live, %zu scheduled\n",
+              final_sweep, c.table.size(), c.expiry.size());
+  return 0;
+}

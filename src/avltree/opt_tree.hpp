@@ -1,0 +1,743 @@
+// Optimistic relaxed-balance AVL tree (the paper's `opt-tree` baseline).
+//
+// Bronson, Casper, Chafi & Olukotun, "A Practical Concurrent Binary Search
+// Tree" (PPoPP 2010) [15].  The three load-bearing ideas, all reproduced
+// here:
+//
+//  1. *Hand-over-hand optimistic validation.*  Every node carries a version
+//     word (an optimistic validation lock, OVL).  A traversal captures a
+//     node's version before following one of its child pointers and
+//     re-checks it afterwards; a mismatch means a "shrink" (rotation or
+//     unlink) may have moved the sought key out of the subtree, and the
+//     traversal retries one level up.  Reads take no locks and write no
+//     shared memory.
+//
+//  2. *Partially external tree.*  Deleting a key whose node has two
+//     children merely clears its `present` flag (the node stays as a
+//     routing node); nodes with fewer than two children are physically
+//     unlinked.  This keeps deletions local -- no full-tree successor
+//     swaps -- at the cost of some routing nodes, which later inserts of
+//     the same key can revive.
+//
+//  3. *Relaxed balance.*  The AVL invariant may be transiently violated by
+//     mutations and is restored by local rotations that fix each damaged
+//     node on the way up, each guarded by a small cluster of per-node
+//     locks (always acquired parent-first, so writers cannot deadlock).
+//
+// Version word layout: bit 0 = unlinked (permanent), bit 1 = shrinking
+// (set while a rotation/unlink is in flight), bits 2.. = shrink counter.
+// Readers spin briefly while a node is shrinking.
+//
+// The JVM original relies on the garbage collector to keep unlinked nodes
+// dereferenceable by concurrent optimistic readers; this port retires them
+// through the reclamation policy (EBR by default).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+#include "common/align.hpp"
+#include "common/backoff.hpp"
+#include "reclaim/ebr.hpp"
+
+namespace lfst::avltree {
+
+template <typename T, typename Compare = std::less<T>,
+          typename Reclaim = reclaim::ebr_policy>
+class opt_tree {
+ public:
+  using key_type = T;
+  using domain_t = typename Reclaim::domain_type;
+  using guard_t = typename Reclaim::guard_type;
+
+  explicit opt_tree(domain_t& domain = Reclaim::default_domain(),
+                    Compare cmp = Compare{})
+      : domain_(domain), cmp_(cmp) {
+    root_holder_ = node::create_sentinel();
+  }
+
+  opt_tree(const opt_tree&) = delete;
+  opt_tree& operator=(const opt_tree&) = delete;
+
+  /// Quiescent destruction: free the reachable tree; unlinked nodes are in
+  /// the reclamation domain with self-contained deleters.
+  ~opt_tree() {
+    destroy_rec(root_holder_->right.load(std::memory_order_relaxed));
+    node::destroy(root_holder_);
+  }
+
+  // --- operations -------------------------------------------------------------
+
+  bool contains(const T& v) const {
+    guard_t g(domain_);
+    for (;;) {
+      node* right = root_holder_->right.load(std::memory_order_acquire);
+      if (right == nullptr) return false;
+      const std::uint64_t ovl = wait_until_stable(right);
+      if (node::is_unlinked(ovl)) continue;
+      if (root_holder_->right.load(std::memory_order_acquire) != right)
+        continue;
+      const result r = attempt_get(v, right, ovl);
+      if (r != result::kRetry) return r == result::kFound;
+    }
+  }
+
+  bool add(const T& v) {
+    guard_t g(domain_);
+    for (;;) {
+      node* right = root_holder_->right.load(std::memory_order_acquire);
+      if (right == nullptr) {
+        // Empty tree: install the first real node under the sentinel.
+        lock_guard lg(root_holder_->lock);
+        if (root_holder_->right.load(std::memory_order_relaxed) == nullptr) {
+          node* fresh = node::create(v, root_holder_);
+          root_holder_->right.store(fresh, std::memory_order_release);
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        continue;  // someone beat us; retry the descent
+      }
+      const std::uint64_t ovl = wait_until_stable(right);
+      if (node::is_unlinked(ovl)) continue;
+      if (root_holder_->right.load(std::memory_order_acquire) != right)
+        continue;
+      const result r = attempt_put(v, right, ovl);
+      if (r == result::kRetry) continue;
+      if (r == result::kFound) return false;  // already present
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+
+  bool remove(const T& v) {
+    guard_t g(domain_);
+    for (;;) {
+      node* right = root_holder_->right.load(std::memory_order_acquire);
+      if (right == nullptr) return false;
+      const std::uint64_t ovl = wait_until_stable(right);
+      if (node::is_unlinked(ovl)) continue;
+      if (root_holder_->right.load(std::memory_order_acquire) != right)
+        continue;
+      const result r = attempt_remove(v, right, ovl);
+      if (r == result::kRetry) continue;
+      if (r == result::kNotFound) return false;
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+
+  // --- observers ---------------------------------------------------------------
+
+  std::size_t size() const noexcept {
+    const auto n = size_.load(std::memory_order_relaxed);
+    return n < 0 ? 0 : static_cast<std::size_t>(n);
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Weakly-consistent ascending iteration.  Implemented as repeated
+  /// validated successor descents (O(log n) per key): a plain in-order
+  /// pointer walk could be led astray by concurrent rotations, whereas each
+  /// successor descent re-validates hand-over-hand from the root, so the
+  /// iteration is robust under any amount of concurrent restructuring.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for_each_while([&](const T& k) {
+      fn(k);
+      return true;
+    });
+  }
+
+  template <typename Fn>
+  bool for_each_while(Fn&& fn) const {
+    guard_t g(domain_);
+    bool have_last = false;
+    T last{};
+    for (;;) {
+      T next{};
+      bool next_present = false;
+      if (!successor(have_last ? &last : nullptr, next, next_present)) {
+        return true;  // exhausted
+      }
+      last = next;
+      have_last = true;
+      if (next_present && !fn(next)) return false;
+      // Routing nodes (!present) just advance the cursor.
+    }
+  }
+
+  std::size_t count_keys() const {
+    std::size_t n = 0;
+    for_each([&](const T&) { ++n; });
+    return n;
+  }
+
+  /// Height of the root node (diagnostic; relaxed balance keeps this within
+  /// a small factor of the AVL optimum).
+  int height() const noexcept {
+    node* r = root_holder_->right.load(std::memory_order_acquire);
+    return r == nullptr ? 0 : r->height.load(std::memory_order_relaxed);
+  }
+
+  /// Quiescent structural census: reachable nodes and how many of them are
+  /// routing nodes (partially-external deletion residue).  Test/diagnostic
+  /// hook; callers must guarantee quiescence.
+  struct census_t {
+    std::size_t nodes = 0;
+    std::size_t routing = 0;
+  };
+
+  census_t census() const {
+    census_t c;
+    census_rec(root_holder_->right.load(std::memory_order_acquire), c);
+    return c;
+  }
+
+  /// Heap bytes of the reachable tree (quiescent callers only).
+  std::size_t memory_footprint() const {
+    return (census().nodes + 1) * sizeof(node);  // +1 for the sentinel
+  }
+
+ private:
+  enum class result { kFound, kNotFound, kRetry };
+
+  /// Minimal test-and-set spinlock; per-node, writer-side only.
+  class spinlock {
+   public:
+    void lock() noexcept {
+      backoff bo;
+      while (flag_.exchange(true, std::memory_order_acquire)) {
+        while (flag_.load(std::memory_order_relaxed)) bo();
+      }
+    }
+    void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+   private:
+    std::atomic<bool> flag_{false};
+  };
+
+  struct lock_guard {
+    explicit lock_guard(spinlock& l) : lock(l) { lock.lock(); }
+    ~lock_guard() { lock.unlock(); }
+    lock_guard(const lock_guard&) = delete;
+    lock_guard& operator=(const lock_guard&) = delete;
+    spinlock& lock;
+  };
+
+  struct node {
+    static constexpr std::uint64_t kUnlinked = 1;
+    static constexpr std::uint64_t kShrinking = 2;
+    static constexpr std::uint64_t kShrinkIncrement = 4;
+
+    T key;
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<bool> present{false};
+    std::atomic<int> height{1};
+    std::atomic<node*> parent{nullptr};
+    std::atomic<node*> left{nullptr};
+    std::atomic<node*> right{nullptr};
+    spinlock lock;
+
+    static bool is_unlinked(std::uint64_t v) noexcept {
+      return (v & kUnlinked) != 0;
+    }
+    static bool is_shrinking(std::uint64_t v) noexcept {
+      return (v & kShrinking) != 0;
+    }
+
+    void begin_shrink() noexcept {
+      version.fetch_or(kShrinking, std::memory_order_acq_rel);
+    }
+    void end_shrink() noexcept {
+      // New shrink count, shrinking bit cleared.
+      const std::uint64_t v = version.load(std::memory_order_relaxed);
+      version.store((v + kShrinkIncrement) & ~kShrinking,
+                    std::memory_order_release);
+    }
+    void mark_unlinked() noexcept {
+      version.store(kUnlinked, std::memory_order_release);
+    }
+
+    std::atomic<node*>& child(bool go_left) noexcept {
+      return go_left ? left : right;
+    }
+
+    static node* create(const T& key, node* parent_node) {
+      node* n = new node;
+      n->key = key;
+      n->present.store(true, std::memory_order_relaxed);
+      n->parent.store(parent_node, std::memory_order_relaxed);
+      return n;
+    }
+
+    static node* create_sentinel() {
+      node* n = new node;  // key default-constructed, never compared
+      n->height.store(0, std::memory_order_relaxed);
+      return n;
+    }
+
+    static void destroy(node* n) noexcept { delete n; }
+    static void destroy_erased(void* p) noexcept {
+      delete static_cast<node*>(p);
+    }
+    reclaim::retired_block as_retired() noexcept {
+      return reclaim::retired_block{this, &node::destroy_erased};
+    }
+  };
+
+  // --- read path --------------------------------------------------------------
+
+  /// Spin until `n` is not mid-shrink, returning the stable version.
+  static std::uint64_t wait_until_stable(const node* n) noexcept {
+    backoff bo;
+    for (;;) {
+      const std::uint64_t v = n->version.load(std::memory_order_acquire);
+      if (!node::is_shrinking(v)) return v;
+      bo();
+    }
+  }
+
+  /// Validate the edge (n -> child) for descent.  Captures the child's
+  /// stable version and re-reads the child pointer afterwards: a child can
+  /// be rotated out of its slot WITHOUT any change to n's version (the
+  /// parent "grows"), so the pointer re-read is what proves the edge -- and
+  /// with it "v belongs in child's key range" -- held at the instant the
+  /// version was captured.  Returns:
+  ///   kFound    -- edge validated, *out_ovl set, descend into child;
+  ///   kNotFound -- transient state (child shrinking / edge moved): re-read
+  ///                the child pointer and try again at n;
+  ///   kRetry    -- n itself changed: retry one level up.
+  result validate_edge(node* n, std::uint64_t ovl, bool go_left, node* child,
+                       std::uint64_t* out_ovl) const {
+    const std::uint64_t child_ovl =
+        child->version.load(std::memory_order_acquire);
+    if (node::is_shrinking(child_ovl)) {
+      wait_until_stable(child);
+      return result::kNotFound;  // re-read the (possibly changed) edge
+    }
+    if (node::is_unlinked(child_ovl) ||
+        n->child(go_left).load(std::memory_order_acquire) != child) {
+      if (n->version.load(std::memory_order_acquire) != ovl)
+        return result::kRetry;
+      return result::kNotFound;  // stale edge: re-read
+    }
+    if (n->version.load(std::memory_order_acquire) != ovl)
+      return result::kRetry;
+    *out_ovl = child_ovl;
+    return result::kFound;
+  }
+
+  /// Bronson attemptGet: `ovl` is the version of `n` captured before the
+  /// caller followed the pointer to `n`; a version change during any child
+  /// read forces a retry one level up.
+  result attempt_get(const T& v, node* n, std::uint64_t ovl) const {
+    for (;;) {
+      if (equal(v, n->key)) {
+        // The present flag read is the linearization point of a hit/miss on
+        // an existing node.
+        return n->present.load(std::memory_order_acquire) ? result::kFound
+                                                          : result::kNotFound;
+      }
+      const bool go_left = cmp_(v, n->key);
+      node* child = n->child(go_left).load(std::memory_order_acquire);
+      if (n->version.load(std::memory_order_acquire) != ovl)
+        return result::kRetry;
+      if (child == nullptr) return result::kNotFound;
+      std::uint64_t child_ovl = 0;
+      const result e = validate_edge(n, ovl, go_left, child, &child_ovl);
+      if (e == result::kRetry) return result::kRetry;
+      if (e == result::kNotFound) continue;
+      const result r = attempt_get(v, child, child_ovl);
+      if (r != result::kRetry) return r;
+      // The child asked for a retry; if we are still valid, re-read our
+      // child pointer and try again, otherwise bubble the retry up.
+      if (n->version.load(std::memory_order_acquire) != ovl)
+        return result::kRetry;
+    }
+  }
+
+  // --- write path --------------------------------------------------------------
+
+  result attempt_put(const T& v, node* n, std::uint64_t ovl) {
+    for (;;) {
+      if (equal(v, n->key)) return put_on_match(n);
+      const bool go_left = cmp_(v, n->key);
+      node* child = n->child(go_left).load(std::memory_order_acquire);
+      if (n->version.load(std::memory_order_acquire) != ovl)
+        return result::kRetry;
+      if (child == nullptr) {
+        // Insert a fresh leaf under (n, dir).  Under the lock the FULL
+        // version must still equal the one validated during the descent:
+        // if n shrank meanwhile (was rotated downward), v may no longer lie
+        // in n's key range and hanging it here would corrupt BST order.
+        // (Checking only the unlinked bit is not enough.)
+        {
+          lock_guard lg(n->lock);
+          if (n->version.load(std::memory_order_relaxed) != ovl)
+            return result::kRetry;
+          if (n->child(go_left).load(std::memory_order_relaxed) != nullptr) {
+            continue;  // slot filled meanwhile: re-descend from n
+          }
+          node* fresh = node::create(v, n);
+          n->child(go_left).store(fresh, std::memory_order_release);
+        }
+        fix_height_and_rebalance(n);
+        return result::kNotFound;  // "was absent": insert succeeded
+      }
+      std::uint64_t child_ovl = 0;
+      const result e = validate_edge(n, ovl, go_left, child, &child_ovl);
+      if (e == result::kRetry) return result::kRetry;
+      if (e == result::kNotFound) continue;
+      const result r = attempt_put(v, child, child_ovl);
+      if (r != result::kRetry) return r;
+      if (n->version.load(std::memory_order_acquire) != ovl)
+        return result::kRetry;
+    }
+  }
+
+  /// Key collision: revive a routing node or report the duplicate.
+  result put_on_match(node* n) {
+    lock_guard lg(n->lock);
+    if (node::is_unlinked(n->version.load(std::memory_order_relaxed)))
+      return result::kRetry;
+    if (n->present.load(std::memory_order_relaxed)) return result::kFound;
+    n->present.store(true, std::memory_order_release);
+    return result::kNotFound;  // revived: insert succeeded
+  }
+
+  result attempt_remove(const T& v, node* n, std::uint64_t ovl) {
+    for (;;) {
+      if (equal(v, n->key)) return remove_on_match(n);
+      const bool go_left = cmp_(v, n->key);
+      node* child = n->child(go_left).load(std::memory_order_acquire);
+      if (n->version.load(std::memory_order_acquire) != ovl)
+        return result::kRetry;
+      if (child == nullptr) return result::kNotFound;
+      std::uint64_t child_ovl = 0;
+      const result e = validate_edge(n, ovl, go_left, child, &child_ovl);
+      if (e == result::kRetry) return result::kRetry;
+      if (e == result::kNotFound) continue;
+      const result r = attempt_remove(v, child, child_ovl);
+      if (r != result::kRetry) return r;
+      if (n->version.load(std::memory_order_acquire) != ovl)
+        return result::kRetry;
+    }
+  }
+
+  /// Found the key's node: convert to a routing node if it has two
+  /// children, physically unlink otherwise (partially external deletion).
+  result remove_on_match(node* n) {
+    for (;;) {
+      if (!n->present.load(std::memory_order_acquire))
+        return result::kNotFound;
+      if (n->left.load(std::memory_order_acquire) != nullptr &&
+          n->right.load(std::memory_order_acquire) != nullptr) {
+        // Two children: clear the flag under the node lock.
+        lock_guard lg(n->lock);
+        if (node::is_unlinked(n->version.load(std::memory_order_relaxed)))
+          return result::kRetry;
+        if (!n->present.load(std::memory_order_relaxed))
+          return result::kNotFound;
+        n->present.store(false, std::memory_order_release);
+        return result::kFound;  // removed
+      }
+      // At most one child observed: try to unlink.  Parent first, then
+      // node (global parent->child lock order).
+      node* p = n->parent.load(std::memory_order_acquire);
+      bool unlinked = false;
+      {
+        lock_guard pg(p->lock);
+        if (node::is_unlinked(p->version.load(std::memory_order_relaxed)) ||
+            n->parent.load(std::memory_order_acquire) != p) {
+          continue;  // parent changed under us: re-evaluate
+        }
+        lock_guard ng(n->lock);
+        if (node::is_unlinked(n->version.load(std::memory_order_relaxed)))
+          return result::kRetry;
+        if (!n->present.load(std::memory_order_relaxed))
+          return result::kNotFound;
+        node* l = n->left.load(std::memory_order_relaxed);
+        node* r = n->right.load(std::memory_order_relaxed);
+        if (l != nullptr && r != nullptr) {
+          // Gained a second child meanwhile: routing-node removal instead.
+          n->present.store(false, std::memory_order_release);
+          return result::kFound;
+        }
+        node* splice = l != nullptr ? l : r;
+        // Unlink: swing the parent's pointer past n.  Updating splice's
+        // parent is safe while holding n's lock: any rotation of splice
+        // must lock its parent (n) first.
+        n->present.store(false, std::memory_order_relaxed);
+        n->mark_unlinked();
+        if (p->left.load(std::memory_order_relaxed) == n) {
+          p->left.store(splice, std::memory_order_release);
+        } else {
+          assert(p->right.load(std::memory_order_relaxed) == n);
+          p->right.store(splice, std::memory_order_release);
+        }
+        if (splice != nullptr) {
+          splice->parent.store(p, std::memory_order_release);
+        }
+        Reclaim::retire(domain_, n->as_retired());
+        unlinked = true;
+      }
+      if (unlinked) {
+        // Locks released; repair heights upward from the parent.
+        fix_height_and_rebalance(p);
+        return result::kFound;
+      }
+    }
+  }
+
+  // --- rebalancing ------------------------------------------------------------
+
+  static int height_of(node* n) noexcept {
+    return n == nullptr ? 0 : n->height.load(std::memory_order_acquire);
+  }
+
+  /// Walk upward from `n`, fixing heights and performing rotations where
+  /// the relaxed AVL condition (|balance| <= 1) is violated.  Each step
+  /// locks at most {parent, node, pivot child, pivot grandchild}, always
+  /// parent-first.
+  void fix_height_and_rebalance(node* n) {
+    int budget = 256;  // defensive bound; damage left over is repaired by
+                       // later operations (relaxed balance permits this)
+    while (n != nullptr && n != root_holder_ && budget-- > 0) {
+      if (node::is_unlinked(n->version.load(std::memory_order_acquire))) {
+        n = n->parent.load(std::memory_order_acquire);
+        continue;
+      }
+      node* next = fix_one(n);
+      if (next == nullptr) break;
+      n = next;
+    }
+  }
+
+  /// Fix `n` once: returns the next node to examine (parent on height
+  /// change, `n` again after a rotation, null when nothing changed).
+  node* fix_one(node* n) {
+    node* p = n->parent.load(std::memory_order_acquire);
+    if (p == nullptr) return nullptr;
+    lock_guard pg(p->lock);
+    if (node::is_unlinked(p->version.load(std::memory_order_relaxed)) ||
+        n->parent.load(std::memory_order_acquire) != p) {
+      return n;  // parent changed: retry n
+    }
+    lock_guard ng(n->lock);
+    if (node::is_unlinked(n->version.load(std::memory_order_relaxed)))
+      return p;
+
+    // Routing nodes (partially-external deletions) that have dropped to at
+    // most one child are unlinked here -- the repair Bronson folds into
+    // fixHeightAndRebalance, without which the routing skeleton of deleted
+    // interior keys would never shrink.  The required parent-then-node
+    // locks are already held; the splice mirrors remove_on_match.
+    if (!n->present.load(std::memory_order_relaxed)) {
+      node* l = n->left.load(std::memory_order_relaxed);
+      node* r = n->right.load(std::memory_order_relaxed);
+      if (l == nullptr || r == nullptr) {
+        node* splice = l != nullptr ? l : r;
+        n->mark_unlinked();
+        if (p->left.load(std::memory_order_relaxed) == n) {
+          p->left.store(splice, std::memory_order_release);
+        } else {
+          assert(p->right.load(std::memory_order_relaxed) == n);
+          p->right.store(splice, std::memory_order_release);
+        }
+        if (splice != nullptr) {
+          splice->parent.store(p, std::memory_order_release);
+        }
+        Reclaim::retire(domain_, n->as_retired());
+        return p;
+      }
+    }
+
+    const int hl = height_of(n->left.load(std::memory_order_relaxed));
+    const int hr = height_of(n->right.load(std::memory_order_relaxed));
+    const int bal = hl - hr;
+    if (bal > 1) {
+      return rotate_right_cluster(p, n);
+    }
+    if (bal < -1) {
+      return rotate_left_cluster(p, n);
+    }
+    const int wanted = 1 + (hl > hr ? hl : hr);
+    if (n->height.load(std::memory_order_relaxed) != wanted) {
+      n->height.store(wanted, std::memory_order_release);
+      return p;  // propagate the height change
+    }
+    return nullptr;
+  }
+
+  /// n is left-heavy: single or double rotation with pivot l = n->left.
+  /// Locks held on entry: p, n.  Returns the node to re-examine.
+  node* rotate_right_cluster(node* p, node* n) {
+    node* l = n->left.load(std::memory_order_relaxed);
+    if (l == nullptr) return nullptr;  // raced; stale heights
+    lock_guard lg(l->lock);
+    if (node::is_unlinked(l->version.load(std::memory_order_relaxed)))
+      return n;
+    const int hll = height_of(l->left.load(std::memory_order_relaxed));
+    const int hlr = height_of(l->right.load(std::memory_order_relaxed));
+    if (hlr > hll) {
+      // Double rotation: first rotate l left (pivot lr), then n right.
+      node* lr = l->right.load(std::memory_order_relaxed);
+      if (lr == nullptr) return n;
+      lock_guard lrg(lr->lock);
+      if (node::is_unlinked(lr->version.load(std::memory_order_relaxed)))
+        return n;
+      rotate_left_locked(n, l, lr);  // l shrinks under lr
+    } else {
+      rotate_right_locked(p, n, l);  // n shrinks under l
+    }
+    return n;  // re-examine n (and its new ancestors) on the next pass
+  }
+
+  node* rotate_left_cluster(node* p, node* n) {
+    node* r = n->right.load(std::memory_order_relaxed);
+    if (r == nullptr) return nullptr;
+    lock_guard rg(r->lock);
+    if (node::is_unlinked(r->version.load(std::memory_order_relaxed)))
+      return n;
+    const int hrr = height_of(r->right.load(std::memory_order_relaxed));
+    const int hrl = height_of(r->left.load(std::memory_order_relaxed));
+    if (hrl > hrr) {
+      node* rl = r->left.load(std::memory_order_relaxed);
+      if (rl == nullptr) return n;
+      lock_guard rlg(rl->lock);
+      if (node::is_unlinked(rl->version.load(std::memory_order_relaxed)))
+        return n;
+      rotate_right_locked(n, r, rl);  // r shrinks under rl
+    } else {
+      rotate_left_locked(p, n, r);  // n shrinks under r
+    }
+    return n;
+  }
+
+  /// Right rotation: pivot `l` replaces `n` under `p`; `n` becomes l's
+  /// right child and adopts l's old right subtree.  Caller holds locks on
+  /// p, n and l.  `n` is the shrinking node: searches that descended into
+  /// it may now be looking in the wrong subtree and must revalidate.
+  void rotate_right_locked(node* p, node* n, node* l) {
+    n->begin_shrink();
+    node* lr = l->right.load(std::memory_order_relaxed);
+    n->left.store(lr, std::memory_order_release);
+    if (lr != nullptr) lr->parent.store(n, std::memory_order_release);
+    l->right.store(n, std::memory_order_release);
+    n->parent.store(l, std::memory_order_release);
+    if (p->left.load(std::memory_order_relaxed) == n) {
+      p->left.store(l, std::memory_order_release);
+    } else {
+      assert(p->right.load(std::memory_order_relaxed) == n);
+      p->right.store(l, std::memory_order_release);
+    }
+    l->parent.store(p, std::memory_order_release);
+    const int n_h = 1 + std::max(height_of(lr),
+                                 height_of(n->right.load(std::memory_order_relaxed)));
+    n->height.store(n_h, std::memory_order_relaxed);
+    l->height.store(
+        1 + std::max(height_of(l->left.load(std::memory_order_relaxed)), n_h),
+        std::memory_order_relaxed);
+    n->end_shrink();
+  }
+
+  /// Mirror image of rotate_right_locked.  Caller holds p, n, r.
+  void rotate_left_locked(node* p, node* n, node* r) {
+    n->begin_shrink();
+    node* rl = r->left.load(std::memory_order_relaxed);
+    n->right.store(rl, std::memory_order_release);
+    if (rl != nullptr) rl->parent.store(n, std::memory_order_release);
+    r->left.store(n, std::memory_order_release);
+    n->parent.store(r, std::memory_order_release);
+    if (p->left.load(std::memory_order_relaxed) == n) {
+      p->left.store(r, std::memory_order_release);
+    } else {
+      assert(p->right.load(std::memory_order_relaxed) == n);
+      p->right.store(r, std::memory_order_release);
+    }
+    r->parent.store(p, std::memory_order_release);
+    const int n_h = 1 + std::max(height_of(n->left.load(std::memory_order_relaxed)),
+                                 height_of(rl));
+    n->height.store(n_h, std::memory_order_relaxed);
+    r->height.store(
+        1 + std::max(n_h, height_of(r->right.load(std::memory_order_relaxed))),
+        std::memory_order_relaxed);
+    n->end_shrink();
+  }
+
+  // --- iteration / teardown ------------------------------------------------------
+
+  /// Find the smallest key strictly greater than `*lower` (or the overall
+  /// minimum when `lower` is null) with the same optimistic validation as
+  /// attempt_get.  Reports the key and whether it is present (a routing
+  /// node's key is reported so the iteration cursor can advance past it).
+  bool successor(const T* lower, T& out_key, bool& out_present) const {
+    for (;;) {
+      node* right = root_holder_->right.load(std::memory_order_acquire);
+      if (right == nullptr) return false;
+      const std::uint64_t ovl = wait_until_stable(right);
+      if (node::is_unlinked(ovl)) continue;
+      if (root_holder_->right.load(std::memory_order_acquire) != right)
+        continue;
+      bool found = false;
+      const result r =
+          attempt_succ(lower, right, ovl, found, out_key, out_present);
+      if (r != result::kRetry) return found;
+    }
+  }
+
+  result attempt_succ(const T* lower, node* n, std::uint64_t ovl, bool& found,
+                      T& out_key, bool& out_present) const {
+    // Going left means n->key qualifies; deeper-left candidates are
+    // smaller, so the last one recorded on the path is the successor.
+    // Unlike attempt_get there is no local retry: a candidate recorded on a
+    // path that later invalidates must be discarded, so any invalidation
+    // restarts from the root (successor() resets `found`).
+    const bool go_left = lower == nullptr || cmp_(*lower, n->key);
+    node* child = n->child(go_left).load(std::memory_order_acquire);
+    const bool present = n->present.load(std::memory_order_acquire);
+    if (n->version.load(std::memory_order_acquire) != ovl)
+      return result::kRetry;
+    if (go_left) {
+      found = true;
+      out_key = n->key;
+      out_present = present;
+    }
+    if (child == nullptr) return result::kNotFound;  // path exhausted
+    std::uint64_t child_ovl = 0;
+    const result e = validate_edge(n, ovl, go_left, child, &child_ovl);
+    // A transient edge state restarts the whole successor search: the
+    // candidate recorded above may come from a path we cannot re-validate.
+    if (e != result::kFound) return result::kRetry;
+    return attempt_succ(lower, child, child_ovl, found, out_key, out_present);
+  }
+
+  void destroy_rec(node* n) {
+    if (n == nullptr) return;
+    destroy_rec(n->left.load(std::memory_order_relaxed));
+    destroy_rec(n->right.load(std::memory_order_relaxed));
+    node::destroy(n);
+  }
+
+  static void census_rec(node* n, census_t& c) {
+    if (n == nullptr) return;
+    ++c.nodes;
+    if (!n->present.load(std::memory_order_relaxed)) ++c.routing;
+    census_rec(n->left.load(std::memory_order_relaxed), c);
+    census_rec(n->right.load(std::memory_order_relaxed), c);
+  }
+
+  bool equal(const T& a, const T& b) const {
+    return !cmp_(a, b) && !cmp_(b, a);
+  }
+
+  domain_t& domain_;
+  [[no_unique_address]] Compare cmp_;
+  node* root_holder_ = nullptr;  // sentinel; the tree hangs off its right
+  alignas(kFalseSharingRange) std::atomic<std::ptrdiff_t> size_{0};
+};
+
+}  // namespace lfst::avltree

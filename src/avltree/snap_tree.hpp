@@ -1,0 +1,418 @@
+// Snapshot AVL tree (the paper's `snap-tree` stand-in for Figure 10).
+//
+// Bronson et al. extend their opt-tree with copy-on-write to support atomic
+// clone and snapshot-isolated iteration; the paper swaps that `snap-tree` in
+// for the iteration benchmark (Fig. 10).  This port reproduces the same
+// *interface contract* -- O(1) atomic snapshots, iteration over a frozen
+// view while writers proceed, writers paying the copying cost -- with a
+// persistent (path-copying) AVL tree under a root compare-and-swap:
+//
+//   * Nodes are immutable once published.  A writer copies the O(log n)
+//     root-to-target path (plus rebalancing copies), then CASes the root.
+//   * Readers and iterators load the root once and walk an immutable tree:
+//     contains() is wait-free and iteration is a true snapshot -- stronger
+//     than the weakly-consistent iteration of the other structures, exactly
+//     the property Fig. 10 exercises.
+//   * Replaced path nodes are retired through the reclamation policy; a
+//     snapshot is valid for the duration of the guard that covers it.
+//
+// Substitution note (see DESIGN.md Sec. 3): Bronson's snap-tree performs
+// copy-on-write lazily and localizes writer conflicts; the root CAS here
+// centralizes them, so write scalability under heavy mutation is below the
+// original's.  The cost *shape* relevant to Figure 10 is preserved: cheap
+// frozen-view iteration, mutation cost proportional to path copying.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/align.hpp"
+#include "common/backoff.hpp"
+#include "reclaim/ebr.hpp"
+
+namespace lfst::avltree {
+
+template <typename T, typename Compare = std::less<T>,
+          typename Reclaim = reclaim::ebr_policy>
+class snap_tree {
+ private:
+  struct node;  // defined below; forward-declared for the snapshot view
+
+ public:
+  using key_type = T;
+  using domain_t = typename Reclaim::domain_type;
+  using guard_t = typename Reclaim::guard_type;
+
+  explicit snap_tree(domain_t& domain = Reclaim::default_domain(),
+                     Compare cmp = Compare{})
+      : domain_(domain), cmp_(cmp) {}
+
+  snap_tree(const snap_tree&) = delete;
+  snap_tree& operator=(const snap_tree&) = delete;
+
+  ~snap_tree() { destroy_rec(root_.load(std::memory_order_relaxed)); }
+
+  // --- operations -------------------------------------------------------------
+
+  /// Wait-free: one descent through an immutable snapshot.
+  bool contains(const T& v) const {
+    guard_t g(domain_);
+    const node* n = root_.load(std::memory_order_acquire);
+    while (n != nullptr) {
+      if (cmp_(v, n->key)) {
+        n = n->left;
+      } else if (cmp_(n->key, v)) {
+        n = n->right;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool add(const T& v) {
+    guard_t g(domain_);
+    backoff bo;
+    for (;;) {
+      node* old_root = root_.load(std::memory_order_acquire);
+      build_ctx ctx;
+      bool added = false;
+      node* new_root = insert_rec(old_root, v, ctx, added);
+      if (!added) {
+        ctx.discard_fresh();
+        return false;
+      }
+      if (root_.compare_exchange_strong(old_root, new_root,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        ctx.retire_replaced(domain_);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      ctx.discard_fresh();
+      bo();
+    }
+  }
+
+  bool remove(const T& v) {
+    guard_t g(domain_);
+    backoff bo;
+    for (;;) {
+      node* old_root = root_.load(std::memory_order_acquire);
+      build_ctx ctx;
+      bool removed = false;
+      node* new_root = remove_rec(old_root, v, ctx, removed);
+      if (!removed) {
+        ctx.discard_fresh();
+        return false;
+      }
+      if (root_.compare_exchange_strong(old_root, new_root,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        ctx.retire_replaced(domain_);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+      ctx.discard_fresh();
+      bo();
+    }
+  }
+
+  // --- observers ---------------------------------------------------------------
+
+  std::size_t size() const noexcept {
+    const auto n = size_.load(std::memory_order_relaxed);
+    return n < 0 ? 0 : static_cast<std::size_t>(n);
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Snapshot iteration: the walk sees the tree exactly as it was when the
+  /// root was loaded, regardless of concurrent mutation (the snap-tree
+  /// property Figure 10 measures).  The snapshot is pinned by the guard for
+  /// the duration of the call.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for_each_while([&](const T& k) {
+      fn(k);
+      return true;
+    });
+  }
+
+  template <typename Fn>
+  bool for_each_while(Fn&& fn) const {
+    guard_t g(domain_);
+    return walk(root_.load(std::memory_order_acquire), fn);
+  }
+
+  /// A pinned, frozen view of the tree: O(1) to take (this is the paper's
+  /// "atomic clone" interface), queryable any number of times, always
+  /// answering from the instant it was taken.  The view pins the
+  /// reclamation epoch for its lifetime, so treat it as a short-lived
+  /// scope, not a long-term archive.
+  class snapshot {
+   public:
+    explicit snapshot(const snap_tree& t)
+        : guard_(std::make_unique<guard_t>(t.domain_)),
+          root_(t.root_.load(std::memory_order_acquire)),
+          cmp_(t.cmp_) {}
+
+    snapshot(snapshot&&) noexcept = default;
+    snapshot& operator=(snapshot&&) noexcept = default;
+
+    bool contains(const T& v) const {
+      const node* n = root_;
+      while (n != nullptr) {
+        if (cmp_(v, n->key)) {
+          n = n->left;
+        } else if (cmp_(n->key, v)) {
+          n = n->right;
+        } else {
+          return true;
+        }
+      }
+      return false;
+    }
+
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      walk_snapshot(root_, fn);
+    }
+
+    std::size_t count() const {
+      std::size_t n = 0;
+      for_each([&](const T&) { ++n; });
+      return n;
+    }
+
+    int height() const noexcept {
+      return root_ == nullptr ? 0 : root_->height;
+    }
+
+   private:
+    template <typename Fn>
+    static void walk_snapshot(const node* n, Fn& fn) {
+      if (n == nullptr) return;
+      walk_snapshot(n->left, fn);
+      fn(n->key);
+      walk_snapshot(n->right, fn);
+    }
+
+    std::unique_ptr<guard_t> guard_;  // pins the epoch (guards don't move)
+    const node* root_;
+    [[no_unique_address]] Compare cmp_;
+  };
+
+  /// Take a frozen view (O(1)); see `snapshot`.
+  snapshot snap() const { return snapshot(*this); }
+
+  std::size_t count_keys() const {
+    std::size_t n = 0;
+    for_each([&](const T&) { ++n; });
+    return n;
+  }
+
+  /// AVL height of the current snapshot (0 for empty).
+  int height() const noexcept {
+    guard_t g(domain_);
+    const node* r = root_.load(std::memory_order_acquire);
+    return r == nullptr ? 0 : r->height;
+  }
+
+ private:
+  struct node {
+    T key;
+    int height;
+    node* left;
+    node* right;
+
+    static void destroy_erased(void* p) noexcept {
+      delete static_cast<node*>(p);
+    }
+  };
+
+  /// Per-operation allocation bookkeeping: `fresh` nodes are private until
+  /// the root CAS publishes them; `replaced` nodes belong to the old tree
+  /// and are retired only if the CAS wins.
+  struct build_ctx {
+    std::vector<node*> fresh;
+    std::vector<node*> replaced;
+
+    bool is_fresh(const node* n) const {
+      return std::find(fresh.begin(), fresh.end(), n) != fresh.end();
+    }
+    void discard_fresh() {
+      for (node* n : fresh) delete n;
+      fresh.clear();
+      replaced.clear();
+    }
+    void retire_replaced(domain_t& d) {
+      for (node* n : replaced) {
+        Reclaim::retire(d, reclaim::retired_block{n, &node::destroy_erased});
+      }
+      replaced.clear();
+      fresh.clear();
+    }
+  };
+
+  static int height_of(const node* n) noexcept {
+    return n == nullptr ? 0 : n->height;
+  }
+
+  node* make(const T& v, build_ctx& ctx) {
+    node* n = new node{v, 1, nullptr, nullptr};
+    ctx.fresh.push_back(n);
+    return n;
+  }
+
+  /// Copy-on-write: fresh nodes are mutable in place; shared nodes are
+  /// copied (and the original queued for retirement on success).
+  node* own(node* n, build_ctx& ctx) {
+    if (ctx.is_fresh(n)) return n;
+    node* c = new node(*n);
+    ctx.fresh.push_back(c);
+    ctx.replaced.push_back(n);
+    return c;
+  }
+
+  node* insert_rec(node* n, const T& v, build_ctx& ctx, bool& added) {
+    if (n == nullptr) {
+      added = true;
+      return make(v, ctx);
+    }
+    if (cmp_(v, n->key)) {
+      node* l = insert_rec(n->left, v, ctx, added);
+      if (!added) return n;
+      node* m = own(n, ctx);
+      m->left = l;
+      return rebalance(m, ctx);
+    }
+    if (cmp_(n->key, v)) {
+      node* r = insert_rec(n->right, v, ctx, added);
+      if (!added) return n;
+      node* m = own(n, ctx);
+      m->right = r;
+      return rebalance(m, ctx);
+    }
+    added = false;
+    return n;
+  }
+
+  node* remove_rec(node* n, const T& v, build_ctx& ctx, bool& removed) {
+    if (n == nullptr) {
+      removed = false;
+      return nullptr;
+    }
+    if (cmp_(v, n->key)) {
+      node* l = remove_rec(n->left, v, ctx, removed);
+      if (!removed) return n;
+      node* m = own(n, ctx);
+      m->left = l;
+      return rebalance(m, ctx);
+    }
+    if (cmp_(n->key, v)) {
+      node* r = remove_rec(n->right, v, ctx, removed);
+      if (!removed) return n;
+      node* m = own(n, ctx);
+      m->right = r;
+      return rebalance(m, ctx);
+    }
+    removed = true;
+    if (n->left == nullptr) {
+      ctx.replaced.push_back(n);
+      return n->right;
+    }
+    if (n->right == nullptr) {
+      ctx.replaced.push_back(n);
+      return n->left;
+    }
+    // Two children: replace with the in-order successor, pulled out of the
+    // right subtree by path copying.
+    T min_key{};
+    node* r = extract_min(n->right, ctx, min_key);
+    node* m = own(n, ctx);
+    m->key = min_key;
+    m->right = r;
+    return rebalance(m, ctx);
+  }
+
+  node* extract_min(node* n, build_ctx& ctx, T& out_min) {
+    if (n->left == nullptr) {
+      out_min = n->key;
+      ctx.replaced.push_back(n);
+      return n->right;
+    }
+    node* l = extract_min(n->left, ctx, out_min);
+    node* m = own(n, ctx);
+    m->left = l;
+    return rebalance(m, ctx);
+  }
+
+  /// Classic AVL rebalance of a fresh node (children possibly shared).
+  node* rebalance(node* m, build_ctx& ctx) {
+    fix_height(m);
+    const int bal = height_of(m->left) - height_of(m->right);
+    if (bal > 1) {
+      if (height_of(m->left->right) > height_of(m->left->left)) {
+        m->left = rotate_left(own(m->left, ctx), ctx);
+      }
+      return rotate_right(m, ctx);
+    }
+    if (bal < -1) {
+      if (height_of(m->right->left) > height_of(m->right->right)) {
+        m->right = rotate_right(own(m->right, ctx), ctx);
+      }
+      return rotate_left(m, ctx);
+    }
+    return m;
+  }
+
+  node* rotate_right(node* m, build_ctx& ctx) {
+    node* l = own(m->left, ctx);
+    m->left = l->right;
+    l->right = m;
+    fix_height(m);
+    fix_height(l);
+    return l;
+  }
+
+  node* rotate_left(node* m, build_ctx& ctx) {
+    node* r = own(m->right, ctx);
+    m->right = r->left;
+    r->left = m;
+    fix_height(m);
+    fix_height(r);
+    return r;
+  }
+
+  static void fix_height(node* m) noexcept {
+    m->height = 1 + std::max(height_of(m->left), height_of(m->right));
+  }
+
+  template <typename Fn>
+  bool walk(const node* n, Fn& fn) const {
+    if (n == nullptr) return true;
+    if (!walk(n->left, fn)) return false;
+    if (!fn(n->key)) return false;
+    return walk(n->right, fn);
+  }
+
+  void destroy_rec(node* n) {
+    if (n == nullptr) return;
+    destroy_rec(n->left);
+    destroy_rec(n->right);
+    delete n;
+  }
+
+  domain_t& domain_;
+  [[no_unique_address]] Compare cmp_;
+  alignas(kFalseSharingRange) std::atomic<node*> root_{nullptr};
+  alignas(kFalseSharingRange) std::atomic<std::ptrdiff_t> size_{0};
+};
+
+}  // namespace lfst::avltree

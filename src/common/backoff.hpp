@@ -1,0 +1,59 @@
+// Bounded exponential backoff for CAS retry loops.
+//
+// Lock-free retry loops in this project spin on compare-and-swap failure.
+// Under contention, immediately retrying wastes interconnect bandwidth and
+// prolongs the very conflict that caused the failure; a short randomized
+// pause drains the contention burst.  The backoff is bounded so that it
+// cannot turn a lock-free algorithm into an effectively-blocked one.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace lfst {
+
+/// Emit a CPU-level pause/yield hint (no-op on unknown architectures).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Exponential backoff: each call to `operator()` spins for a pseudo-random
+/// number of pause instructions, doubling the ceiling (up to `kMaxSpins`)
+/// after every call.  Reset with `reset()` after a successful CAS.
+class backoff {
+ public:
+  static constexpr std::uint32_t kMinSpins = 4;
+  static constexpr std::uint32_t kMaxSpins = 1024;
+
+  void operator()() noexcept {
+    // xorshift step keeps successive spin counts decorrelated across threads
+    // without needing a full PRNG object.
+    seed_ ^= seed_ << 13;
+    seed_ ^= seed_ >> 7;
+    seed_ ^= seed_ << 17;
+    const std::uint32_t spins =
+        kMinSpins + static_cast<std::uint32_t>(seed_ % limit_);
+    for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+    if (limit_ < kMaxSpins) limit_ *= 2;
+  }
+
+  void reset() noexcept { limit_ = kMinSpins; }
+
+  std::uint32_t current_limit() const noexcept { return limit_; }
+
+ private:
+  std::uint64_t seed_ = 0x2545f4914f6cdd1dull ^
+                        reinterpret_cast<std::uintptr_t>(this);
+  std::uint32_t limit_ = kMinSpins;
+};
+
+}  // namespace lfst

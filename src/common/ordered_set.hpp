@@ -1,0 +1,90 @@
+// The concurrent ordered-set interface shared by every structure in this
+// repository.
+//
+// The paper compares four "linearizable concurrent ordered sets" (Sec. V):
+// the skip-tree (its contribution), a lock-free skip-list, the opt-tree, and
+// a B-link tree.  Each implementation in this repo models the
+// `concurrent_ordered_set` concept below so that the conformance test
+// battery, the workload driver and the benchmarks are written once and
+// instantiated per structure.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace lfst {
+
+/// A linearizable concurrent ordered set over key type `K`.
+///
+/// Required semantics (matching Sec. III of the paper):
+///  * `contains(k)` -- wait-free membership query.
+///  * `add(k)` -- insert; returns false iff `k` was already present.
+///  * `remove(k)` -- delete; returns false iff `k` was absent.
+///  * `size()` -- the number of keys currently present (may be O(1) via a
+///    relaxed counter; exact when the structure is quiescent).
+///  * `for_each(fn)` -- weakly consistent ascending iteration over the keys.
+template <typename S, typename K = typename S::key_type>
+concept concurrent_ordered_set = requires(S s, const S cs, K k) {
+  typename S::key_type;
+  { s.contains(k) } -> std::convertible_to<bool>;
+  { s.add(k) } -> std::convertible_to<bool>;
+  { s.remove(k) } -> std::convertible_to<bool>;
+  { cs.size() } -> std::convertible_to<std::size_t>;
+};
+
+/// Reference implementation: std::set under a mutex.  Trivially correct, so
+/// the conformance battery uses it both as a baseline participant and as the
+/// oracle for sequential checks.
+template <typename K, typename Compare = std::less<K>>
+class locked_set {
+ public:
+  using key_type = K;
+
+  locked_set() = default;
+  explicit locked_set(std::uint64_t /*seed*/) {}
+
+  bool contains(const K& k) const {
+    std::lock_guard<std::mutex> g(mu_);
+    return set_.count(k) != 0;
+  }
+
+  bool add(const K& k) {
+    std::lock_guard<std::mutex> g(mu_);
+    return set_.insert(k).second;
+  }
+
+  bool remove(const K& k) {
+    std::lock_guard<std::mutex> g(mu_);
+    return set_.erase(k) != 0;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return set_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    // Copy under the lock, then visit: keeps the callback out of the
+    // critical section, matching the weakly-consistent contract.
+    std::vector<K> snapshot;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      snapshot.assign(set_.begin(), set_.end());
+    }
+    for (const K& k : snapshot) fn(k);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::set<K, Compare> set_;
+};
+
+static_assert(concurrent_ordered_set<locked_set<int>>);
+
+}  // namespace lfst

@@ -1,0 +1,129 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Benchmarks and the skip-tree/skip-list height draws need a generator that
+// is (a) cheap enough not to perturb throughput measurements, (b) seedable so
+// trials are reproducible, and (c) usable from many threads without sharing.
+// We provide SplitMix64 (for seeding), xoshiro256** (the workhorse), and the
+// geometric level draw Pr(H = h) = q^h * (1 - q) used by the paper (Sec.
+// III-C): an element's height is the number of consecutive "successes" with
+// probability q.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace lfst {
+
+/// SplitMix64 (Steele, Lea, Vigna).  Used to expand a single 64-bit seed into
+/// the state of larger generators; also a perfectly good standalone PRNG.
+class splitmix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr splitmix64(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman, Vigna).  Fast, high-quality, 256-bit state.
+class xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256ss(std::uint64_t seed = 1) noexcept {
+    splitmix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform draw in [0, bound) without modulo bias (Lemire's method would
+  /// need 128-bit multiply; the widening multiply below is exactly that and
+  /// is a single instruction on x86-64).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    __extension__ using uint128 = unsigned __int128;
+    return static_cast<std::uint64_t>(
+        (static_cast<uint128>(next()) * bound) >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Draw a random tower/element height with the geometric distribution
+/// Pr(H = h) = q^h * (1 - q), as used by both the skip-tree (Sec. III-C) and
+/// the skip-list.  `q_log2` expresses q = 2^-q_log2, the form both the paper
+/// (q = 1/32) and practical skip-lists (q = 1/2 or 1/4) use; a power-of-two q
+/// lets one draw count fair "coin" groups from a single 64-bit word by
+/// scanning its bits in groups of q_log2.
+///
+/// `max_height` caps the result so pathological draws cannot build towers
+/// deeper than the structure supports.
+template <typename Rng>
+constexpr int geometric_level(Rng& rng, int q_log2, int max_height) noexcept {
+  int h = 0;
+  int bits_left = 0;
+  std::uint64_t word = 0;
+  while (h < max_height) {
+    if (bits_left < q_log2) {
+      word = rng.next();
+      bits_left = 64;
+    }
+    // One trial succeeds with probability 2^-q_log2: all q_log2 bits zero.
+    const std::uint64_t mask = (q_log2 >= 64)
+                                   ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << q_log2) - 1);
+    if ((word & mask) != 0) break;
+    word >>= q_log2;
+    bits_left -= q_log2;
+    ++h;
+  }
+  return h;
+}
+
+/// Mix a thread index into a base seed so that per-thread generators are
+/// decorrelated but the whole experiment is reproducible from one seed.
+constexpr std::uint64_t thread_seed(std::uint64_t base, std::uint64_t thread_index) noexcept {
+  splitmix64 sm(base ^ (0x9e3779b97f4a7c15ull * (thread_index + 1)));
+  return sm.next();
+}
+
+}  // namespace lfst

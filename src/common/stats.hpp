@@ -1,0 +1,85 @@
+// Small statistics helpers for the benchmark harness.
+//
+// The paper reports the mean and standard deviation over 64 repeated trials
+// (Sec. V, Figure 9 caption).  `summary` reproduces exactly those two
+// moments plus min/max and percentiles for the extended benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace lfst {
+
+/// Online mean/variance accumulator (Welford's algorithm; numerically stable
+/// for long benchmark runs).
+class running_stats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a vector of samples.
+struct summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+
+  static summary of(std::vector<double> samples) {
+    if (samples.empty()) throw std::invalid_argument("summary::of: no samples");
+    running_stats rs;
+    for (double s : samples) rs.add(s);
+    std::sort(samples.begin(), samples.end());
+    summary out;
+    out.count = rs.count();
+    out.mean = rs.mean();
+    out.stddev = rs.stddev();
+    out.min = rs.min();
+    out.max = rs.max();
+    out.p50 = percentile(samples, 0.50);
+    out.p95 = percentile(samples, 0.95);
+    return out;
+  }
+
+  /// Nearest-rank percentile on a pre-sorted sample vector.
+  static double percentile(const std::vector<double>& sorted, double p) {
+    if (sorted.empty()) throw std::invalid_argument("percentile: no samples");
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+};
+
+}  // namespace lfst

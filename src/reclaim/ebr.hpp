@@ -1,0 +1,348 @@
+// Epoch-based reclamation (EBR).
+//
+// The paper's skip-tree runs on a JVM and leans on the garbage collector for
+// two guarantees (Sec. III-A): retired objects are not freed while a reader
+// may still hold them, and addresses are not recycled in a way that causes
+// ABA on compare-and-swap.  This module supplies both guarantees natively.
+//
+// Scheme (Fraser-style, three limbo generations):
+//  * A global epoch counter advances 0, 1, 2, ... .
+//  * Every operation on a protected structure runs under an RAII `guard`
+//    that publishes ("pins") the thread's view of the global epoch.
+//  * `retire(p)` adds `p` to the pinning thread's limbo list tagged with the
+//    pinned epoch `e`.  `p` must already be unreachable from the structure.
+//  * The global epoch may advance from `g` to `g+1` only when every pinned
+//    thread has published `g`.  Hence once the global epoch reaches `e + 2`,
+//    no thread that could have observed `p` is still running, and the limbo
+//    list for epoch `e` is reclaimed.  Three limbo buckets per thread
+//    (indexed by epoch mod 3) suffice because a bucket is reused only when
+//    its previous generation is at least three epochs old.
+//
+// ABA freedom follows: an address is handed back to the allocator only after
+// the grace period, so a pinned compare-and-swap can never observe a
+// recycled address.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "common/align.hpp"
+#include "reclaim/retired.hpp"
+
+namespace lfst::reclaim {
+
+/// Maximum number of threads that may simultaneously hold slots in one
+/// domain.  Slots are recycled on thread exit, so this bounds concurrency,
+/// not total thread count over a process lifetime.
+inline constexpr std::size_t kMaxThreads = 256;
+
+class ebr_domain;
+
+namespace detail {
+/// Per-thread epoch record.  `epoch` is written by the owner and read by
+/// advancers; everything else is owner-only (or touched only while the slot
+/// is unowned).  Aligned to the false-sharing range because each slot is
+/// written by exactly one thread on the hot path.
+struct alignas(kFalseSharingRange) ebr_slot {
+  static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
+
+  std::atomic<std::uint64_t> epoch{kQuiescent};
+  std::atomic<bool> in_use{false};
+
+  // Owner-only state ------------------------------------------------------
+  unsigned depth = 0;             // guard nesting level
+  std::uint64_t pinned = 0;       // epoch published while depth > 0
+  std::uint64_t retire_ticks = 0; // retires since last advance attempt
+  retired_list limbo[3];
+  std::uint64_t limbo_epoch[3] = {0, 0, 0};  // generation tag per bucket
+};
+}  // namespace detail
+
+/// An epoch-reclamation domain.  Structures sharing a domain share grace
+/// periods; the default `ebr_domain::global()` is what the data structures
+/// use unless a test passes its own.
+class ebr_domain {
+ public:
+  ebr_domain() : id_(next_domain_id()) {
+    std::lock_guard<std::mutex> g(live_registry().mu);
+    live_registry().ids.insert(id_);
+  }
+  ebr_domain(const ebr_domain&) = delete;
+  ebr_domain& operator=(const ebr_domain&) = delete;
+
+  /// Destructor reclaims everything still in limbo.  Callers must guarantee
+  /// quiescence (no guards held, no further retires).  Exiting threads that
+  /// still hold slot references consult the live-domain registry so they
+  /// never touch a destroyed domain.
+  ~ebr_domain() {
+    {
+      std::lock_guard<std::mutex> g(live_registry().mu);
+      live_registry().ids.erase(id_);
+    }
+    const std::size_t n = high_water_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      detail::ebr_slot& s = slots_[i];
+      for (retired_list& l : s.limbo) l.reclaim_all();
+    }
+  }
+
+  /// The process-wide default domain.
+  static ebr_domain& global() {
+    static ebr_domain d;
+    return d;
+  }
+
+  class guard;
+
+  /// Retire `p`; its deleter runs after a full grace period.  Must be called
+  /// with a guard held on this domain by the calling thread.
+  template <typename T>
+  void retire(T* p) {
+    retire(retired_block{p, &delete_of<T>});
+  }
+
+  void retire(retired_block b) {
+    detail::ebr_slot& s = my_slot();
+    assert(s.depth > 0 && "retire() requires an active ebr_domain::guard");
+    // Tag the garbage with the CURRENT global epoch, not the pinned one.
+    // The unlink that made `b` unreachable happened no later than this
+    // load; any reader that can still hold the block is therefore pinned
+    // at an epoch <= g, and the free rule (global >= tag + 2) cannot fire
+    // until every such reader has unpinned.  Tagging with the pinned epoch
+    // would be off by one: the global may already be pinned+1 at unlink
+    // time, and a reader pinned there could outlive the grace period.
+    const std::uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
+    stash(s, g, b);
+    if (++s.retire_ticks >= kAdvanceEvery) {
+      s.retire_ticks = 0;
+      try_advance();
+      collect(s);
+    }
+  }
+
+  /// Drive epochs forward and reclaim as much as possible.  Only meaningful
+  /// from a quiescent caller (no guard held); used by tests and destructors
+  /// of long-lived structures.
+  void flush() {
+    for (int round = 0; round < 4; ++round) try_advance();
+    const std::size_t n = high_water_.load(std::memory_order_acquire);
+    const std::uint64_t g = global_epoch_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      detail::ebr_slot& s = slots_[i];
+      // Safe to touch foreign slots only when they cannot race; flush() is
+      // documented as quiescent-only, but guard against misuse by skipping
+      // slots that are pinned right now.
+      if (s.epoch.load(std::memory_order_acquire) != detail::ebr_slot::kQuiescent)
+        continue;
+      for (int b = 0; b < 3; ++b) {
+        if (!s.limbo[b].empty() && s.limbo_epoch[b] + 2 <= g) s.limbo[b].reclaim_all();
+      }
+    }
+  }
+
+  std::uint64_t epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Number of blocks waiting in this thread's limbo lists (test hook).
+  std::size_t my_limbo_size() {
+    detail::ebr_slot& s = my_slot();
+    return s.limbo[0].size() + s.limbo[1].size() + s.limbo[2].size();
+  }
+
+ private:
+  static constexpr std::uint64_t kAdvanceEvery = 64;
+
+  // --- slot management -----------------------------------------------------
+
+  detail::ebr_slot& my_slot() {
+    // One thread may interleave operations on several domains (e.g. the
+    // process-global domain plus a test-local one), so the thread-local
+    // registry keeps a slot per domain rather than a single cached slot --
+    // releasing another domain's slot mid-guard would unpin it.  Entries are
+    // matched by (pointer, unique id) so a recycled domain address cannot
+    // alias a stale entry.
+    thread_local tls_registry reg;
+    for (std::size_t i = 0; i < reg.count; ++i) {
+      if (reg.entries[i].domain == this && reg.entries[i].domain_id == id_)
+        return *reg.entries[i].slot;
+    }
+    assert(reg.count < tls_registry::kCapacity &&
+           "thread uses too many distinct ebr domains");
+    detail::ebr_slot& s = acquire_slot();
+    reg.entries[reg.count++] = {this, id_, &s};
+    return s;
+  }
+
+  // --- live-domain registry --------------------------------------------------
+
+  static std::uint64_t next_domain_id() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  struct domain_registry {
+    std::mutex mu;
+    std::unordered_set<std::uint64_t> ids;
+  };
+
+  static domain_registry& live_registry() {
+    static domain_registry r;
+    return r;
+  }
+
+  detail::ebr_slot& acquire_slot() {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      bool expected = false;
+      if (!slots_[i].in_use.load(std::memory_order_relaxed) &&
+          slots_[i].in_use.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        // Grow the scan window to cover this slot.
+        std::size_t hw = high_water_.load(std::memory_order_relaxed);
+        while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                                 hw, i + 1, std::memory_order_acq_rel)) {
+        }
+        return slots_[i];
+      }
+    }
+    assert(false && "ebr_domain: more than kMaxThreads concurrent threads");
+    std::abort();
+  }
+
+  /// Thread-exit hook: unpin and return every held slot.  Limbo blocks stay
+  /// in their slots; the next owner (or the domain destructor) reclaims them
+  /// once the grace period allows.
+  struct tls_registry {
+    static constexpr std::size_t kCapacity = 8;
+    struct entry {
+      ebr_domain* domain = nullptr;
+      std::uint64_t domain_id = 0;
+      detail::ebr_slot* slot = nullptr;
+    };
+    entry entries[kCapacity];
+    std::size_t count = 0;
+
+    ~tls_registry() {
+      // Release slots only for domains that are still alive; holding the
+      // registry mutex across the slot writes keeps the release ordered
+      // before any subsequent domain destruction.
+      std::lock_guard<std::mutex> g(live_registry().mu);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (live_registry().ids.count(entries[i].domain_id) == 0) continue;
+        detail::ebr_slot* s = entries[i].slot;
+        s->depth = 0;
+        s->epoch.store(detail::ebr_slot::kQuiescent, std::memory_order_release);
+        s->in_use.store(false, std::memory_order_release);
+      }
+    }
+  };
+
+  // --- epoch machinery -------------------------------------------------------
+
+  void pin(detail::ebr_slot& s) {
+    if (s.depth++ > 0) return;  // re-entrant guard
+    std::uint64_t g = global_epoch_.load(std::memory_order_relaxed);
+    for (;;) {
+      s.epoch.store(g, std::memory_order_relaxed);
+      // The fence orders the epoch publication before any structure read,
+      // and pairs with the advancer's seq_cst accesses: an advancer that
+      // misses our publication must itself have advanced before we started
+      // reading, which keeps our pinned epoch within one of the global.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const std::uint64_t g2 = global_epoch_.load(std::memory_order_seq_cst);
+      if (g2 == g) break;
+      g = g2;
+    }
+    s.pinned = g;
+    collect(s);
+  }
+
+  void unpin(detail::ebr_slot& s) {
+    assert(s.depth > 0);
+    if (--s.depth == 0) {
+      s.epoch.store(detail::ebr_slot::kQuiescent, std::memory_order_release);
+    }
+  }
+
+  /// Advance the global epoch if every pinned thread has observed it.
+  bool try_advance() {
+    const std::uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
+    const std::size_t n = high_water_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t e =
+          slots_[i].epoch.load(std::memory_order_seq_cst);
+      if (e != detail::ebr_slot::kQuiescent && e != g) return false;
+    }
+    std::uint64_t expected = g;
+    global_epoch_.compare_exchange_strong(expected, g + 1,
+                                          std::memory_order_seq_cst);
+    return true;  // advanced, or somebody else did
+  }
+
+  /// Put `b` in the bucket for epoch `e`, first reclaiming any stale
+  /// generation occupying that bucket (it is at least three epochs old, so
+  /// its grace period has long expired).
+  void stash(detail::ebr_slot& s, std::uint64_t e, retired_block b) {
+    const int bucket = static_cast<int>(e % 3);
+    if (s.limbo_epoch[bucket] != e) {
+      if (!s.limbo[bucket].empty()) s.limbo[bucket].reclaim_all();
+      s.limbo_epoch[bucket] = e;
+    }
+    s.limbo[bucket].push(b);
+  }
+
+  /// Reclaim this thread's buckets whose grace period has elapsed.
+  void collect(detail::ebr_slot& s) {
+    const std::uint64_t g = global_epoch_.load(std::memory_order_acquire);
+    for (int b = 0; b < 3; ++b) {
+      if (!s.limbo[b].empty() && s.limbo_epoch[b] + 2 <= g) {
+        s.limbo[b].reclaim_all();
+      }
+    }
+  }
+
+  const std::uint64_t id_;
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::atomic<std::size_t> high_water_{0};
+  detail::ebr_slot slots_[kMaxThreads];
+
+  friend class guard;
+
+ public:
+  /// RAII epoch pin.  All reads of a protected structure, and all retire()
+  /// calls, must happen inside a guard's lifetime.
+  class guard {
+   public:
+    explicit guard(ebr_domain& d) : domain_(d), slot_(d.my_slot()) {
+      domain_.pin(slot_);
+    }
+    ~guard() { domain_.unpin(slot_); }
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+
+   private:
+    ebr_domain& domain_;
+    detail::ebr_slot& slot_;
+  };
+};
+
+/// Reclamation policy adapter used by the data structures: EBR flavour.
+struct ebr_policy {
+  using domain_type = ebr_domain;
+  using guard_type = ebr_domain::guard;
+
+  static domain_type& default_domain() { return ebr_domain::global(); }
+
+  template <typename T>
+  static void retire(domain_type& d, T* p) {
+    d.retire(p);
+  }
+  static void retire(domain_type& d, retired_block b) { d.retire(b); }
+  static void quiescent_flush(domain_type& d) { d.flush(); }
+};
+
+}  // namespace lfst::reclaim

@@ -1,0 +1,244 @@
+// Hazard pointers (Michael, 2004).
+//
+// The second safe-memory-reclamation scheme this repository provides as a
+// substitute for the paper's JVM garbage collector.  Where EBR protects
+// *periods* of execution, hazard pointers protect individual *pointers*: a
+// reader publishes the address it is about to dereference in a per-thread
+// hazard slot and re-validates the source afterwards; a reclaimer only frees
+// retired objects whose addresses appear in no hazard slot.
+//
+// Trade-off vs EBR (quantified in bench/ablation_reclaim): per-dereference
+// publication cost and bounded garbage, versus EBR's near-free read path and
+// unbounded garbage under a stalled reader.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "common/align.hpp"
+#include "reclaim/retired.hpp"
+
+namespace lfst::reclaim {
+
+/// Maximum threads per hazard domain (slots recycle on thread exit).
+inline constexpr std::size_t kHpMaxThreads = 256;
+/// Hazard slots per thread.  Harris-Michael list traversal needs three
+/// (prev, curr, next); tree descents re-use slots level by level.
+inline constexpr std::size_t kHpSlotsPerThread = 8;
+
+namespace detail {
+struct alignas(kFalseSharingRange) hp_slot {
+  std::atomic<void*> hazards[kHpSlotsPerThread] = {};
+  std::atomic<bool> in_use{false};
+  // Owner-only.
+  retired_list retired;
+};
+}  // namespace detail
+
+/// A hazard-pointer domain: per-thread hazard slots plus per-thread retired
+/// lists, scanned when the retired list exceeds a multiple of the total
+/// hazard count (amortizing the O(H) scan).
+class hp_domain {
+ public:
+  hp_domain() : id_(next_domain_id()) {
+    std::lock_guard<std::mutex> g(live_registry().mu);
+    live_registry().ids.insert(id_);
+  }
+  hp_domain(const hp_domain&) = delete;
+  hp_domain& operator=(const hp_domain&) = delete;
+
+  ~hp_domain() {
+    {
+      std::lock_guard<std::mutex> g(live_registry().mu);
+      live_registry().ids.erase(id_);
+    }
+    const std::size_t n = high_water_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) slots_[i].retired.reclaim_all();
+  }
+
+  static hp_domain& global() {
+    static hp_domain d;
+    return d;
+  }
+
+  /// A thread's handle to its hazard slots.  Construct once per operation
+  /// (cheap: a thread-local lookup); slots are cleared on destruction.
+  class holder {
+   public:
+    explicit holder(hp_domain& d) : domain_(d), slot_(d.my_slot()) {}
+    ~holder() { clear_all(); }
+    holder(const holder&) = delete;
+    holder& operator=(const holder&) = delete;
+
+    /// Protect the pointer currently stored in `src`: publish, then
+    /// re-validate that `src` still holds it (otherwise the object may have
+    /// been retired before our publication became visible).  Returns the
+    /// protected value.
+    template <typename T>
+    T* protect(std::size_t index, const std::atomic<T*>& src) {
+      assert(index < kHpSlotsPerThread);
+      T* p = src.load(std::memory_order_acquire);
+      for (;;) {
+        slot_.hazards[index].store(const_cast<std::remove_const_t<T>*>(p),
+                                   std::memory_order_release);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        T* q = src.load(std::memory_order_acquire);
+        if (q == p) return p;
+        p = q;
+      }
+    }
+
+    /// Publish a pointer obtained by other means (e.g. from a field of an
+    /// already protected object).  Caller must re-validate reachability.
+    void set(std::size_t index, void* p) {
+      assert(index < kHpSlotsPerThread);
+      slot_.hazards[index].store(p, std::memory_order_release);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+
+    void clear(std::size_t index) {
+      assert(index < kHpSlotsPerThread);
+      slot_.hazards[index].store(nullptr, std::memory_order_release);
+    }
+
+    void clear_all() {
+      for (std::size_t i = 0; i < kHpSlotsPerThread; ++i) clear(i);
+    }
+
+   private:
+    [[maybe_unused]] hp_domain& domain_;
+    detail::hp_slot& slot_;
+  };
+
+  /// Retire `p`.  Unlike EBR no guard is required: the retired list is
+  /// per-thread and the scan consults all published hazards.
+  template <typename T>
+  void retire(T* p) {
+    retire(retired_block{p, &delete_of<T>});
+  }
+
+  void retire(retired_block b) {
+    detail::hp_slot& s = my_slot();
+    s.retired.push(b);
+    const std::size_t threshold =
+        2 * kHpSlotsPerThread * active_threads() + kScanSlack;
+    if (s.retired.size() >= threshold) scan(s);
+  }
+
+  /// Reclaim every retired block not currently protected (test hook /
+  /// shutdown path; safe to call at any time from the owning thread).
+  void scan_now() { scan(my_slot()); }
+
+  std::size_t my_retired_size() { return my_slot().retired.size(); }
+
+ private:
+  static constexpr std::size_t kScanSlack = 64;
+
+  void scan(detail::hp_slot& s) {
+    // Snapshot every published hazard.
+    std::unordered_set<void*> protected_ptrs;
+    const std::size_t n = high_water_.load(std::memory_order_acquire);
+    protected_ptrs.reserve(n * kHpSlotsPerThread);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < kHpSlotsPerThread; ++j) {
+        void* h = slots_[i].hazards[j].load(std::memory_order_acquire);
+        if (h != nullptr) protected_ptrs.insert(h);
+      }
+    }
+    // Free what is not protected, keep the rest.
+    std::vector<retired_block> keep;
+    keep.reserve(s.retired.size());
+    for (const retired_block& b : s.retired.blocks()) {
+      if (protected_ptrs.count(b.ptr) != 0) {
+        keep.push_back(b);
+      } else {
+        b.reclaim();
+      }
+    }
+    s.retired.blocks() = std::move(keep);
+  }
+
+  std::size_t active_threads() const {
+    return high_water_.load(std::memory_order_acquire);
+  }
+
+  // --- slot management (same pattern as ebr_domain) -------------------------
+
+  detail::hp_slot& my_slot() {
+    thread_local tls_registry reg;
+    for (std::size_t i = 0; i < reg.count; ++i) {
+      if (reg.entries[i].domain == this && reg.entries[i].domain_id == id_)
+        return *reg.entries[i].slot;
+    }
+    assert(reg.count < tls_registry::kCapacity &&
+           "thread uses too many distinct hp domains");
+    detail::hp_slot& s = acquire_slot();
+    reg.entries[reg.count++] = {this, id_, &s};
+    return s;
+  }
+
+  detail::hp_slot& acquire_slot() {
+    for (std::size_t i = 0; i < kHpMaxThreads; ++i) {
+      bool expected = false;
+      if (!slots_[i].in_use.load(std::memory_order_relaxed) &&
+          slots_[i].in_use.compare_exchange_strong(expected, true,
+                                                   std::memory_order_acq_rel)) {
+        std::size_t hw = high_water_.load(std::memory_order_relaxed);
+        while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                                 hw, i + 1, std::memory_order_acq_rel)) {
+        }
+        return slots_[i];
+      }
+    }
+    assert(false && "hp_domain: more than kHpMaxThreads concurrent threads");
+    std::abort();
+  }
+
+  static std::uint64_t next_domain_id() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  struct domain_registry {
+    std::mutex mu;
+    std::unordered_set<std::uint64_t> ids;
+  };
+
+  static domain_registry& live_registry() {
+    static domain_registry r;
+    return r;
+  }
+
+  struct tls_registry {
+    static constexpr std::size_t kCapacity = 8;
+    struct entry {
+      hp_domain* domain = nullptr;
+      std::uint64_t domain_id = 0;
+      detail::hp_slot* slot = nullptr;
+    };
+    entry entries[kCapacity];
+    std::size_t count = 0;
+
+    ~tls_registry() {
+      std::lock_guard<std::mutex> g(live_registry().mu);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (live_registry().ids.count(entries[i].domain_id) == 0) continue;
+        detail::hp_slot* s = entries[i].slot;
+        for (std::size_t j = 0; j < kHpSlotsPerThread; ++j)
+          s->hazards[j].store(nullptr, std::memory_order_release);
+        // Retired blocks stay with the slot for the next owner.
+        s->in_use.store(false, std::memory_order_release);
+      }
+    }
+  };
+
+  const std::uint64_t id_;
+  std::atomic<std::size_t> high_water_{0};
+  detail::hp_slot slots_[kHpMaxThreads];
+};
+
+}  // namespace lfst::reclaim

@@ -1,0 +1,122 @@
+// The "leaky" reclamation policy: never reclaim while running.
+//
+// Retired objects are parked on a sharded list and freed only when the
+// domain is destroyed (never, for the process-global domain).  This is the
+// closest measurable analogue to running the algorithms with reclamation
+// cost removed: no guards, no epochs, no scans -- just one push per retire
+// -- so the ablation benches use it as the near-zero-cost baseline.  (The
+// paper pays its reclamation cost inside the JVM's collector; comparing
+// ebr_policy against leaky_policy bounds that cost for this port.)
+//
+// Parking rather than dropping keeps the blocks reachable, which is what
+// lets the test suite run the leaky variants under LeakSanitizer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/align.hpp"
+#include "common/backoff.hpp"
+#include "reclaim/retired.hpp"
+
+namespace lfst::reclaim {
+
+class leaky_domain {
+ public:
+  leaky_domain() = default;
+  leaky_domain(const leaky_domain&) = delete;
+  leaky_domain& operator=(const leaky_domain&) = delete;
+
+  ~leaky_domain() { flush(); }
+
+  static leaky_domain& global() {
+    static leaky_domain d;
+    return d;
+  }
+
+  /// No-op guard with the same shape as ebr_domain::guard.
+  class guard {
+   public:
+    explicit guard(leaky_domain&) noexcept {}
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+  };
+
+  template <typename T>
+  void retire(T* p) {
+    retire(retired_block{p, &delete_of<T>});
+  }
+
+  void retire(retired_block b) {
+    shard& s = shards_[shard_index()];
+    lock_shard(s);
+    s.parked.push_back(b);
+    unlock_shard(s);
+  }
+
+  /// Reclaim everything parked so far.  Safe only when no operation that
+  /// could still dereference a parked block is in flight (quiescence) --
+  /// the destructor's situation.
+  void flush() {
+    for (shard& s : shards_) {
+      lock_shard(s);
+      for (const retired_block& b : s.parked) b.reclaim();
+      s.parked.clear();
+      unlock_shard(s);
+    }
+  }
+
+  /// Total parked blocks (test hook).
+  std::size_t parked_count() {
+    std::size_t n = 0;
+    for (shard& s : shards_) {
+      lock_shard(s);
+      n += s.parked.size();
+      unlock_shard(s);
+    }
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+
+  struct alignas(kFalseSharingRange) shard {
+    std::atomic<bool> locked{false};
+    std::vector<retired_block> parked;
+  };
+
+  static void lock_shard(shard& s) noexcept {
+    backoff bo;
+    while (s.locked.exchange(true, std::memory_order_acquire)) bo();
+  }
+  static void unlock_shard(shard& s) noexcept {
+    s.locked.store(false, std::memory_order_release);
+  }
+
+  static std::size_t shard_index() noexcept {
+    return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+           kShards;
+  }
+
+  shard shards_[kShards];
+};
+
+/// Policy adapter: park everything, reclaim at domain destruction.
+struct leaky_policy {
+  using domain_type = leaky_domain;
+  using guard_type = leaky_domain::guard;
+
+  static domain_type& default_domain() { return leaky_domain::global(); }
+
+  template <typename T>
+  static void retire(domain_type& d, T* p) {
+    d.retire(p);
+  }
+  static void retire(domain_type& d, retired_block b) { d.retire(b); }
+  static void quiescent_flush(domain_type& d) { d.flush(); }
+};
+
+}  // namespace lfst::reclaim

@@ -1,0 +1,47 @@
+// Type-erased retired-object records shared by the reclamation schemes.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace lfst::reclaim {
+
+/// One object awaiting reclamation: a pointer plus its type-erased deleter.
+struct retired_block {
+  void* ptr = nullptr;
+  void (*deleter)(void*) = nullptr;
+
+  void reclaim() const { deleter(ptr); }
+};
+
+/// Deleter for objects allocated with plain `new`.
+template <typename T>
+void delete_of(void* p) {
+  delete static_cast<T*>(p);
+}
+
+/// A batch of retired blocks; owner-thread-only, so plain vector.
+class retired_list {
+ public:
+  void push(retired_block b) { blocks_.push_back(b); }
+
+  std::size_t size() const noexcept { return blocks_.size(); }
+  bool empty() const noexcept { return blocks_.empty(); }
+
+  /// Reclaim every block and clear the list.
+  void reclaim_all() {
+    for (const retired_block& b : blocks_) b.reclaim();
+    blocks_.clear();
+  }
+
+  /// Move the contents out (used when a slot is adopted by a new thread).
+  std::vector<retired_block> take() { return std::move(blocks_); }
+
+  std::vector<retired_block>& blocks() noexcept { return blocks_; }
+
+ private:
+  std::vector<retired_block> blocks_;
+};
+
+}  // namespace lfst::reclaim

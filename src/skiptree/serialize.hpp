@@ -1,0 +1,91 @@
+// Binary serialization for skip-trees with trivially-copyable keys.
+//
+// The format is deliberately structure-free: a header plus the sorted key
+// stream.  Loading bulk-builds an OPTIMAL tree (see skip_tree::from_sorted),
+// so a save/load round trip doubles as offline compaction -- whatever
+// empty nodes and suboptimal references the source tree had accumulated are
+// gone in the loaded copy.
+//
+//   [magic u64][version u32][q_log2 u32][count u64][keys...]
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "skiptree/skip_tree.hpp"
+
+namespace lfst::skiptree {
+
+inline constexpr std::uint64_t kSerializeMagic = 0x4c46535454524545ull;  // "LFSTTREE"
+inline constexpr std::uint32_t kSerializeVersion = 1;
+
+/// Write the tree's keys (ascending) to `out`.  Quiescent callers get an
+/// exact image; concurrent callers get a weakly-consistent one.
+template <typename T, typename Compare, typename Reclaim>
+void save(const skip_tree<T, Compare, Reclaim>& tree, std::ostream& out) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "binary serialization requires trivially copyable keys");
+  std::vector<T> keys;
+  keys.reserve(tree.size());
+  tree.for_each([&](const T& k) { keys.push_back(k); });
+
+  const std::uint64_t magic = kSerializeMagic;
+  const std::uint32_t version = kSerializeVersion;
+  const std::uint32_t q_log2 = static_cast<std::uint32_t>(tree.options().q_log2);
+  const std::uint64_t count = keys.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&q_log2), sizeof(q_log2));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  if (!keys.empty()) {
+    out.write(reinterpret_cast<const char*>(keys.data()),
+              static_cast<std::streamsize>(keys.size() * sizeof(T)));
+  }
+  if (!out) throw std::runtime_error("skiptree::save: stream write failed");
+}
+
+/// Load a tree previously written by save().  The stored q is used unless
+/// `opts_override` is provided.  The result is bulk-built optimal.
+template <typename T, typename Compare = std::less<T>,
+          typename Reclaim = reclaim::ebr_policy>
+skip_tree<T, Compare, Reclaim> load(
+    std::istream& in, const skip_tree_options* opts_override = nullptr,
+    typename Reclaim::domain_type& domain = Reclaim::default_domain()) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "binary serialization requires trivially copyable keys");
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t q_log2 = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&q_log2), sizeof(q_log2));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kSerializeMagic) {
+    throw std::runtime_error("skiptree::load: bad magic/header");
+  }
+  if (version != kSerializeVersion) {
+    throw std::runtime_error("skiptree::load: unsupported version");
+  }
+  std::vector<T> keys(count);
+  if (count > 0) {
+    in.read(reinterpret_cast<char*>(keys.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+  }
+  if (!in) throw std::runtime_error("skiptree::load: truncated key stream");
+
+  skip_tree_options opts;
+  if (opts_override != nullptr) {
+    opts = *opts_override;
+  } else {
+    opts.q_log2 = static_cast<int>(q_log2);
+  }
+  return skip_tree<T, Compare, Reclaim>::from_sorted(
+      std::span<const T>(keys), opts, domain);
+}
+
+}  // namespace lfst::skiptree

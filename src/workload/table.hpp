@@ -1,0 +1,63 @@
+// Minimal fixed-width table printer for the benchmark binaries, so every
+// figure-reproduction harness emits the same aligned, greppable rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lfst::workload {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        if (row[c].size() > width[c]) width[c] = row[c].size();
+      }
+    }
+    print_row(out, headers_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c], '-');
+      if (c + 1 < width.size()) rule += "-+-";
+    }
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(out, row, width);
+  }
+
+  static std::string fmt(double v, int precision = 1) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+
+ private:
+  static void print_row(std::FILE* out, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    std::string line;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      cell.resize(width[c], ' ');
+      line += cell;
+      if (c + 1 < width.size()) line += " | ";
+    }
+    std::fprintf(out, "%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lfst::workload

@@ -1,0 +1,149 @@
+// Sequential tests of the optimistic relaxed-balance AVL tree.
+#include "avltree/opt_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ordered_set.hpp"
+
+namespace lfst::avltree {
+namespace {
+
+static_assert(lfst::concurrent_ordered_set<opt_tree<int>>);
+
+TEST(OptTreeBasic, EmptyTree) {
+  opt_tree<int> t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.contains(7));
+  EXPECT_FALSE(t.remove(7));
+  EXPECT_EQ(t.height(), 0);
+}
+
+TEST(OptTreeBasic, AddContainsRemove) {
+  opt_tree<int> t;
+  EXPECT_TRUE(t.add(1));
+  EXPECT_FALSE(t.add(1));
+  EXPECT_TRUE(t.contains(1));
+  EXPECT_TRUE(t.remove(1));
+  EXPECT_FALSE(t.remove(1));
+  EXPECT_FALSE(t.contains(1));
+}
+
+TEST(OptTreeBasic, PartiallyExternalDeletionRevival) {
+  // Removing an interior key leaves a routing node; re-adding the same key
+  // must revive it rather than create a duplicate.
+  opt_tree<int> t;
+  t.add(50);
+  t.add(25);
+  t.add(75);  // 50 has two children: removal converts it to routing
+  EXPECT_TRUE(t.remove(50));
+  EXPECT_FALSE(t.contains(50));
+  EXPECT_TRUE(t.contains(25));
+  EXPECT_TRUE(t.contains(75));
+  EXPECT_TRUE(t.add(50));  // revival
+  EXPECT_TRUE(t.contains(50));
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(OptTreeBasic, UnlinkLeafAndSingleChildNodes) {
+  opt_tree<int> t;
+  t.add(10);
+  t.add(5);
+  t.add(20);
+  t.add(15);  // 20 has a single (left) child
+  EXPECT_TRUE(t.remove(5));   // leaf unlink
+  EXPECT_TRUE(t.remove(20));  // single-child splice
+  EXPECT_TRUE(t.contains(10));
+  EXPECT_TRUE(t.contains(15));
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(OptTreeBasic, AscendingInsertionsStayBalanced) {
+  opt_tree<int> t;
+  for (int i = 0; i < 10000; ++i) ASSERT_TRUE(t.add(i));
+  for (int i = 0; i < 10000; i += 97) ASSERT_TRUE(t.contains(i));
+  // Relaxed AVL: height within a small factor of log2(10000) ~ 13.3.
+  EXPECT_LE(t.height(), 3 * 14);
+  EXPECT_GE(t.height(), 14);
+}
+
+TEST(OptTreeBasic, DescendingInsertionsStayBalanced) {
+  opt_tree<int> t;
+  for (int i = 9999; i >= 0; --i) ASSERT_TRUE(t.add(i));
+  EXPECT_LE(t.height(), 3 * 14);
+  EXPECT_EQ(t.count_keys(), 10000u);
+}
+
+TEST(OptTreeBasic, MatchesStdSetUnderRandomOps) {
+  opt_tree<int> t;
+  std::set<int> oracle;
+  std::mt19937 rng(31337);
+  std::uniform_int_distribution<int> key(0, 400);
+  std::uniform_int_distribution<int> op(0, 2);
+  for (int i = 0; i < 50000; ++i) {
+    const int k = key(rng);
+    switch (op(rng)) {
+      case 0:
+        ASSERT_EQ(t.add(k), oracle.insert(k).second) << "add " << k;
+        break;
+      case 1:
+        ASSERT_EQ(t.remove(k), oracle.erase(k) != 0) << "rm " << k;
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), oracle.count(k) != 0) << "has " << k;
+    }
+  }
+  EXPECT_EQ(t.size(), oracle.size());
+  EXPECT_EQ(t.count_keys(), oracle.size());
+}
+
+TEST(OptTreeBasic, ForEachSkipsRoutingNodes) {
+  opt_tree<int> t;
+  for (int k : {50, 25, 75, 10, 30}) t.add(k);
+  t.remove(50);  // becomes routing
+  t.remove(25);  // becomes routing
+  std::vector<int> seen;
+  t.for_each([&](int k) { seen.push_back(k); });
+  EXPECT_EQ(seen, (std::vector<int>{10, 30, 75}));
+}
+
+TEST(OptTreeBasic, ForEachSortedComplete) {
+  opt_tree<int> t;
+  std::mt19937 rng(5);
+  std::set<int> oracle;
+  for (int i = 0; i < 3000; ++i) {
+    const int k = static_cast<int>(rng() % 10000);
+    t.add(k);
+    oracle.insert(k);
+  }
+  std::vector<int> seen;
+  t.for_each([&](int k) { seen.push_back(k); });
+  EXPECT_TRUE(std::equal(seen.begin(), seen.end(), oracle.begin(),
+                         oracle.end()));
+}
+
+TEST(OptTreeBasic, StringKeys) {
+  opt_tree<std::string> t;
+  t.add("foxtrot");
+  t.add("bravo");
+  t.add("kilo");
+  EXPECT_TRUE(t.remove("foxtrot"));
+  EXPECT_FALSE(t.contains("foxtrot"));
+  EXPECT_TRUE(t.contains("kilo"));
+}
+
+TEST(OptTreeBasic, GrowShrinkCycles) {
+  opt_tree<int> t;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 2000; ++i) ASSERT_TRUE(t.add(i));
+    for (int i = 0; i < 2000; ++i) ASSERT_TRUE(t.remove(i)) << i;
+    ASSERT_EQ(t.count_keys(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace lfst::avltree

@@ -1,0 +1,184 @@
+// Concurrent stress tests of the opt-tree (optimistic validation under
+// rotations is the risky machinery; these tests hammer it).
+#include "avltree/opt_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lfst::avltree {
+namespace {
+
+constexpr int kThreads = 8;
+
+TEST(OptTreeConcurrent, DisjointInsertions) {
+  opt_tree<long> t;
+  constexpr long kPerThread = 15000;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      const long base = tid * kPerThread;
+      for (long i = 0; i < kPerThread; ++i) ASSERT_TRUE(t.add(base + i));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(t.count_keys(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(OptTreeConcurrent, AscendingInterleavedInsertionsForceRotations) {
+  // Ascending keys from all threads concentrate inserts at the tree's right
+  // spine, forcing continuous rebalancing under contention.
+  opt_tree<long> t;
+  constexpr long kPerThread = 15000;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (long i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(t.add(i * kThreads + tid));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.count_keys(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_LE(t.height(), 60);  // relaxed balance, but not a list
+}
+
+TEST(OptTreeConcurrent, ContendedSameKeysOneWinner) {
+  opt_tree<long> t;
+  constexpr long kKeys = 3000;
+  std::atomic<long> add_wins{0};
+  std::atomic<long> rm_wins{0};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&] {
+      long a = 0;
+      for (long k = 0; k < kKeys; ++k) a += t.add(k);
+      add_wins.fetch_add(a);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(add_wins.load(), kKeys);
+  threads.clear();
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&] {
+      long r = 0;
+      for (long k = 0; k < kKeys; ++k) r += t.remove(k);
+      rm_wins.fetch_add(r);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(rm_wins.load(), kKeys);
+  EXPECT_EQ(t.count_keys(), 0u);
+}
+
+TEST(OptTreeConcurrent, MixedNetEffectMatchesLogs) {
+  opt_tree<long> t;
+  constexpr long kRange = 2000;
+  std::vector<std::vector<int>> deltas(kThreads, std::vector<int>(kRange, 0));
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      xoshiro256ss rng(thread_seed(61, static_cast<std::uint64_t>(tid)));
+      for (int i = 0; i < 50000; ++i) {
+        const long k = static_cast<long>(rng.below(kRange));
+        switch (rng.below(3)) {
+          case 0:
+            if (t.add(k)) deltas[tid][k] += 1;
+            break;
+          case 1:
+            if (t.remove(k)) deltas[tid][k] -= 1;
+            break;
+          default:
+            t.contains(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::size_t expected = 0;
+  for (long k = 0; k < kRange; ++k) {
+    int net = 0;
+    for (int tid = 0; tid < kThreads; ++tid) net += deltas[tid][k];
+    ASSERT_TRUE(net == 0 || net == 1) << k;
+    ASSERT_EQ(t.contains(k), net == 1) << k;
+    expected += static_cast<std::size_t>(net);
+  }
+  EXPECT_EQ(t.count_keys(), expected);
+}
+
+TEST(OptTreeConcurrent, ReadersValidateAcrossRotations) {
+  // Permanent keys must always be found even while writers force rotations
+  // around them.
+  opt_tree<long> t;
+  for (long k = 0; k < 1000; ++k) t.add(k * 1000);
+  std::atomic<bool> stop{false};
+  std::atomic<int> misses{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (long k = 0; k < 1000; k += 61) {
+          if (!t.contains(k * 1000)) misses.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      xoshiro256ss rng(thread_seed(71, static_cast<std::uint64_t>(w)));
+      for (int i = 0; i < 40000; ++i) {
+        const long k = static_cast<long>(rng.below(1000)) * 1000 + 1 +
+                       static_cast<long>(rng.below(998));
+        if (rng.below(2) == 0) {
+          t.add(k);
+        } else {
+          t.remove(k);
+        }
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(misses.load(), 0);
+}
+
+TEST(OptTreeConcurrent, IterationSortedUnderChurn) {
+  opt_tree<long> t;
+  for (long k = 0; k < 1000; ++k) t.add(k);
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      long prev = -1;
+      t.for_each([&](long k) {
+        if (k <= prev) violations.fetch_add(1);
+        prev = k;
+      });
+    }
+  });
+  std::thread churn([&] {
+    xoshiro256ss rng(19);
+    for (int i = 0; i < 30000; ++i) {
+      const long k = static_cast<long>(rng.below(1000));
+      if (rng.below(2) == 0) {
+        t.add(k);
+      } else {
+        t.remove(k);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  churn.join();
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+}  // namespace
+}  // namespace lfst::avltree

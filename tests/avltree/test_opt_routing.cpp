@@ -1,0 +1,124 @@
+// Tests for the opt-tree's routing-node lifecycle: partially external
+// deletion leaves routing nodes behind, and the rebalance pass must unlink
+// the ones that drop below two children so the skeleton eventually shrinks.
+#include "avltree/opt_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lfst::avltree {
+namespace {
+
+TEST(OptTreeRouting, CensusCountsRoutingNodes) {
+  opt_tree<int> t;
+  t.add(50);
+  t.add(25);
+  t.add(75);
+  ASSERT_TRUE(t.remove(50));  // two children -> routing node
+  const auto c = t.census();
+  EXPECT_EQ(c.nodes, 3u);
+  EXPECT_EQ(c.routing, 1u);
+}
+
+TEST(OptTreeRouting, RemoveAllLeavesNearEmptySkeleton) {
+  // Without routing unlinks, deleting everything would leave a skeleton of
+  // every node that had two children at removal time.
+  opt_tree<int> t;
+  xoshiro256ss rng(42);
+  std::vector<int> keys;
+  for (int i = 0; i < 2000; ++i) {
+    const int k = static_cast<int>(rng.below(1 << 24));
+    if (t.add(k)) keys.push_back(k);
+  }
+  for (int k : keys) ASSERT_TRUE(t.remove(k));
+  EXPECT_EQ(t.count_keys(), 0u);
+  const auto c = t.census();
+  // Some residue is legitimate (repairs are best-effort and only run near
+  // mutations), but the structure must have collapsed by orders of
+  // magnitude, not retained a full skeleton.
+  EXPECT_LT(c.nodes, keys.size() / 10) << "routing skeleton not reclaimed";
+}
+
+TEST(OptTreeRouting, RevivalRaceWithUnlink) {
+  // Hammer the revive-vs-unlink race: one thread repeatedly removes a key
+  // whose node has two children (making it routing), another re-adds it.
+  // Every add that returns true must make the key visible.
+  opt_tree<long> t;
+  t.add(500);
+  t.add(250);
+  t.add(750);
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < 4; ++tid) {
+    threads.emplace_back([&, tid] {
+      xoshiro256ss rng(thread_seed(3, static_cast<std::uint64_t>(tid)));
+      for (int i = 0; i < 30000; ++i) {
+        if (rng.below(2) == 0) {
+          if (t.add(500)) {
+            // Just added: must be observable until someone removes it.
+            (void)t.contains(500);
+          }
+        } else {
+          t.remove(500);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(t.contains(250));
+  EXPECT_TRUE(t.contains(750));
+}
+
+TEST(OptTreeRouting, ChurnKeepsNodeCountProportionalToMembership) {
+  opt_tree<long> t;
+  xoshiro256ss rng(7);
+  constexpr long kRange = 4000;
+  // Sustained 50/50 add/remove churn: membership hovers around half the
+  // range; node count must not grow unboundedly with operation count.
+  for (int i = 0; i < 400000; ++i) {
+    const long k = static_cast<long>(rng.below(kRange));
+    if (rng.below(2) == 0) {
+      t.add(k);
+    } else {
+      t.remove(k);
+    }
+  }
+  const auto c = t.census();
+  const std::size_t members = t.count_keys();
+  EXPECT_LT(c.nodes, members + members / 2 + 64)
+      << "nodes " << c.nodes << " vs members " << members;
+}
+
+TEST(OptTreeRouting, ConcurrentChurnStillAgreesWithOracleLogs) {
+  opt_tree<long> t;
+  constexpr int kThreads = 8;
+  constexpr long kRange = 1000;
+  std::vector<std::vector<int>> deltas(kThreads, std::vector<int>(kRange, 0));
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      xoshiro256ss rng(thread_seed(606, static_cast<std::uint64_t>(tid)));
+      for (int i = 0; i < 40000; ++i) {
+        const long k = static_cast<long>(rng.below(kRange));
+        if (rng.below(2) == 0) {
+          if (t.add(k)) deltas[tid][k] += 1;
+        } else {
+          if (t.remove(k)) deltas[tid][k] -= 1;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (long k = 0; k < kRange; ++k) {
+    int net = 0;
+    for (int tid = 0; tid < kThreads; ++tid) net += deltas[tid][k];
+    ASSERT_TRUE(net == 0 || net == 1) << k;
+    ASSERT_EQ(t.contains(k), net == 1) << k;
+  }
+}
+
+}  // namespace
+}  // namespace lfst::avltree

@@ -1,0 +1,222 @@
+// Tests of the snapshot AVL tree, with emphasis on the property Figure 10
+// relies on: iteration over a frozen view while writers proceed.
+#include "avltree/snap_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/ordered_set.hpp"
+#include "common/rng.hpp"
+
+namespace lfst::avltree {
+namespace {
+
+static_assert(lfst::concurrent_ordered_set<snap_tree<int>>);
+
+TEST(SnapTreeBasic, AddContainsRemove) {
+  snap_tree<int> t;
+  EXPECT_TRUE(t.add(3));
+  EXPECT_FALSE(t.add(3));
+  EXPECT_TRUE(t.contains(3));
+  EXPECT_TRUE(t.remove(3));
+  EXPECT_FALSE(t.remove(3));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(SnapTreeBasic, AvlHeightBound) {
+  snap_tree<int> t;
+  for (int i = 0; i < 10000; ++i) t.add(i);
+  // Strict AVL: height <= 1.44 log2(n+2) ~ 20 for n = 10000.
+  EXPECT_LE(t.height(), 20);
+  EXPECT_EQ(t.count_keys(), 10000u);
+}
+
+TEST(SnapTreeBasic, RemoveWithTwoChildrenUsesSuccessor) {
+  snap_tree<int> t;
+  for (int k : {50, 25, 75, 60, 90, 55, 65}) t.add(k);
+  EXPECT_TRUE(t.remove(50));
+  std::vector<int> seen;
+  t.for_each([&](int k) { seen.push_back(k); });
+  EXPECT_EQ(seen, (std::vector<int>{25, 55, 60, 65, 75, 90}));
+}
+
+TEST(SnapTreeBasic, MatchesStdSetUnderRandomOps) {
+  snap_tree<int> t;
+  std::set<int> oracle;
+  std::mt19937 rng(2024);
+  std::uniform_int_distribution<int> key(0, 300);
+  std::uniform_int_distribution<int> op(0, 2);
+  for (int i = 0; i < 30000; ++i) {
+    const int k = key(rng);
+    switch (op(rng)) {
+      case 0:
+        ASSERT_EQ(t.add(k), oracle.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(t.remove(k), oracle.erase(k) != 0);
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), oracle.count(k) != 0);
+    }
+  }
+  EXPECT_EQ(t.count_keys(), oracle.size());
+}
+
+TEST(SnapTreeSnapshot, ScanSeesExactHistoricalState) {
+  // The property that separates a snapshot iterator from a weakly
+  // consistent one: a single writer inserts 0, 1, 2, ... in order, so every
+  // reachable state of the set is a prefix {0..m-1}.  Each scan pins one
+  // frozen root, so it must observe EXACTLY a prefix -- no holes, no keys
+  // beyond its own maximum missing below it.  (The skip-tree's weak
+  // iterator can legitimately observe holes here; the snap-tree must not.)
+  snap_tree<long> t;
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread scanner([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      long expect = 0;
+      bool exact = true;
+      t.for_each([&](long k) {
+        if (k != expect) exact = false;
+        ++expect;
+      });
+      if (!exact) violations.fetch_add(1);
+    }
+  });
+  std::thread writer([&] {
+    for (long k = 0; k < 30000; ++k) t.add(k);
+    stop.store(true, std::memory_order_release);
+  });
+  writer.join();
+  scanner.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(SnapTreeSnapshot, ScanNeverSeesPartialState) {
+  // Stronger atomicity check: the writer maintains "set contains exactly
+  // {0..N-1} or exactly {N..2N-1}" by building the next generation and
+  // swapping... impossible with per-key ops; instead verify the snapshot
+  // count is stable: every scan of a tree under pure inserts sees a
+  // monotonically consistent prefix (size never decreases between scans).
+  snap_tree<long> t;
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread scanner([&] {
+    std::size_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::size_t n = 0;
+      t.for_each([&](long) { ++n; });
+      if (n < last) violations.fetch_add(1);
+      last = n;
+    }
+  });
+  std::thread writer([&] {
+    for (long k = 0; k < 20000; ++k) t.add(k);
+    stop.store(true, std::memory_order_release);
+  });
+  writer.join();
+  scanner.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(t.count_keys(), 20000u);
+}
+
+TEST(SnapTreeSnapshot, HandleAnswersFromFrozenInstant) {
+  snap_tree<long> t;
+  for (long k = 0; k < 100; ++k) t.add(k);
+  auto snap = t.snap();
+  // Mutate heavily after the snapshot.
+  for (long k = 0; k < 100; k += 2) t.remove(k);
+  for (long k = 1000; k < 1100; ++k) t.add(k);
+  // The handle still answers from the frozen instant.
+  EXPECT_EQ(snap.count(), 100u);
+  EXPECT_TRUE(snap.contains(0));
+  EXPECT_TRUE(snap.contains(98));
+  EXPECT_FALSE(snap.contains(1000));
+  // The live tree reflects the mutations.
+  EXPECT_FALSE(t.contains(0));
+  EXPECT_TRUE(t.contains(1050));
+}
+
+TEST(SnapTreeSnapshot, MultipleHandlesSeeDistinctInstants) {
+  snap_tree<long> t;
+  t.add(1);
+  auto s1 = t.snap();
+  t.add(2);
+  auto s2 = t.snap();
+  t.add(3);
+  EXPECT_EQ(s1.count(), 1u);
+  EXPECT_EQ(s2.count(), 2u);
+  EXPECT_EQ(t.count_keys(), 3u);
+  EXPECT_FALSE(s1.contains(2));
+  EXPECT_TRUE(s2.contains(2));
+  EXPECT_FALSE(s2.contains(3));
+}
+
+TEST(SnapTreeSnapshot, HandleSurvivesWriterChurn) {
+  snap_tree<long> t;
+  for (long k = 0; k < 5000; ++k) t.add(k);
+  auto snap = t.snap();
+  std::thread writer([&] {
+    xoshiro256ss rng(31);
+    for (int i = 0; i < 60000; ++i) {
+      const long k = static_cast<long>(rng.below(5000));
+      if (rng.below(2) == 0) {
+        t.remove(k);
+      } else {
+        t.add(k);
+      }
+    }
+  });
+  // Query the frozen view repeatedly while the writer churns; under ASan
+  // this also proves the epoch pin keeps replaced nodes alive.
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_EQ(snap.count(), 5000u);
+    long expect = 0;
+    snap.for_each([&](long k) { EXPECT_EQ(k, expect++); });
+  }
+  writer.join();
+}
+
+TEST(SnapTreeConcurrent, MixedNetEffectMatchesLogs) {
+  snap_tree<long> t;
+  constexpr int kThreads = 6;
+  constexpr long kRange = 1000;
+  std::vector<std::vector<int>> deltas(kThreads, std::vector<int>(kRange, 0));
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      xoshiro256ss rng(thread_seed(81, static_cast<std::uint64_t>(tid)));
+      for (int i = 0; i < 20000; ++i) {
+        const long k = static_cast<long>(rng.below(kRange));
+        switch (rng.below(3)) {
+          case 0:
+            if (t.add(k)) deltas[tid][k] += 1;
+            break;
+          case 1:
+            if (t.remove(k)) deltas[tid][k] -= 1;
+            break;
+          default:
+            t.contains(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::size_t expected = 0;
+  for (long k = 0; k < kRange; ++k) {
+    int net = 0;
+    for (int tid = 0; tid < kThreads; ++tid) net += deltas[tid][k];
+    ASSERT_TRUE(net == 0 || net == 1) << k;
+    ASSERT_EQ(t.contains(k), net == 1) << k;
+    expected += static_cast<std::size_t>(net);
+  }
+  EXPECT_EQ(t.count_keys(), expected);
+}
+
+}  // namespace
+}  // namespace lfst::avltree

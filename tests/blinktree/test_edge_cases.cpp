@@ -1,0 +1,113 @@
+// B-link tree edge cases: root growth boundaries, move-right correctness
+// around separators, lazy-delete pathologies.
+#include "blinktree/blink_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lfst::blinktree {
+namespace {
+
+blink_tree_options tiny(std::size_t m = 2) {
+  blink_tree_options o;
+  o.min_node_size = m;
+  return o;
+}
+
+TEST(BlinkTreeEdge, RootSplitAtExactBoundary) {
+  blink_tree<int> t(tiny(2));  // max 4 keys per node
+  for (int i = 1; i <= 4; ++i) ASSERT_TRUE(t.add(i));
+  EXPECT_EQ(t.height(), 0);
+  ASSERT_TRUE(t.add(5));  // 5th key forces the first root split
+  EXPECT_EQ(t.height(), 1);
+  for (int i = 1; i <= 5; ++i) EXPECT_TRUE(t.contains(i)) << i;
+}
+
+TEST(BlinkTreeEdge, CascadeThroughThreeLevels) {
+  blink_tree<int> t(tiny(2));
+  int i = 0;
+  while (t.height() < 3) ASSERT_TRUE(t.add(++i));
+  for (int k = 1; k <= i; ++k) ASSERT_TRUE(t.contains(k)) << k;
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(i));
+}
+
+TEST(BlinkTreeEdge, KeysAtEverySeparatorBoundary) {
+  // After heavy splitting, every separator equals some stored key; all of
+  // them (and their neighbours) must resolve correctly.
+  blink_tree<int> t(tiny(2));
+  for (int k = 0; k < 2000; k += 2) t.add(k);
+  for (int k = 0; k < 2000; ++k) {
+    EXPECT_EQ(t.contains(k), k % 2 == 0) << k;
+  }
+}
+
+TEST(BlinkTreeEdge, EmptyLeavesFromLazyDeleteStayTraversable) {
+  blink_tree<int> t(tiny(2));
+  for (int k = 0; k < 256; ++k) t.add(k);
+  // Drain entire leaves in the middle of the key space.
+  for (int k = 64; k < 192; ++k) ASSERT_TRUE(t.remove(k));
+  for (int k = 0; k < 256; ++k) {
+    EXPECT_EQ(t.contains(k), k < 64 || k >= 192) << k;
+  }
+  // Iteration hops the empty leaves.
+  std::vector<int> seen;
+  t.for_each([&](int k) { seen.push_back(k); });
+  EXPECT_EQ(seen.size(), 128u);
+  // Refill into the hollowed-out range.
+  for (int k = 64; k < 192; ++k) ASSERT_TRUE(t.add(k));
+  EXPECT_EQ(t.count_keys(), 256u);
+}
+
+TEST(BlinkTreeEdge, ReadersDuringRootGrowthSpinSafely) {
+  // Stress the transient "right sibling exists at root level" window: tiny
+  // nodes + concurrent inserters force frequent root splits while readers
+  // descend.
+  blink_tree<long> t(tiny(2));
+  std::atomic<bool> stop{false};
+  std::atomic<int> misses{0};
+  for (long k = 0; k < 64; ++k) t.add(k * 1000);
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (long k = 0; k < 64; k += 7) {
+          if (!t.contains(k * 1000)) misses.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      xoshiro256ss rng(thread_seed(51, static_cast<std::uint64_t>(w)));
+      for (int i = 0; i < 30000; ++i) {
+        t.add(static_cast<long>(rng.below(64000)) | 1);  // odd: never a probe
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(misses.load(), 0);
+  EXPECT_GE(t.height(), 2);
+}
+
+TEST(BlinkTreeEdge, LowerBoundAcrossUnderflowedLeaves) {
+  blink_tree<long> t(tiny(2));
+  for (long k = 0; k < 400; ++k) t.add(k);
+  for (long k = 100; k < 300; ++k) t.remove(k);  // hollow middle
+  long out = 0;
+  ASSERT_TRUE(t.lower_bound(150, out));
+  EXPECT_EQ(out, 300);
+  ASSERT_TRUE(t.lower_bound(99, out));
+  EXPECT_EQ(out, 99);
+  EXPECT_FALSE(t.lower_bound(400, out));
+}
+
+}  // namespace
+}  // namespace lfst::blinktree

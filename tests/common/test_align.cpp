@@ -1,0 +1,42 @@
+// Unit tests for alignment helpers.
+#include "common/align.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfst {
+namespace {
+
+TEST(AlignUp, PowersOfTwo) {
+  EXPECT_EQ(align_up(0, 8), 0u);
+  EXPECT_EQ(align_up(1, 1), 1u);
+  EXPECT_EQ(align_up(7, 8), 8u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+}
+
+TEST(Padded, OccupiesFullFalseSharingRange) {
+  EXPECT_EQ(sizeof(padded<int>), kFalseSharingRange);
+  EXPECT_EQ(alignof(padded<int>), kFalseSharingRange);
+}
+
+TEST(Padded, ArrayElementsDoNotShareLines) {
+  padded<std::atomic<std::uint64_t>> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&arr[i].value);
+    const auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1].value);
+    EXPECT_GE(b - a, kFalseSharingRange);
+  }
+}
+
+TEST(Padded, ValueAccessors) {
+  padded<int> p(41);
+  EXPECT_EQ(*p, 41);
+  *p += 1;
+  EXPECT_EQ(p.value, 42);
+}
+
+}  // namespace
+}  // namespace lfst

@@ -1,0 +1,42 @@
+// Unit tests for the bounded exponential backoff.
+#include "common/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lfst {
+namespace {
+
+TEST(Backoff, StartsAtMinimumLimit) {
+  backoff bo;
+  EXPECT_EQ(bo.current_limit(), backoff::kMinSpins);
+}
+
+TEST(Backoff, LimitDoublesPerInvocation) {
+  backoff bo;
+  bo();
+  EXPECT_EQ(bo.current_limit(), 2 * backoff::kMinSpins);
+  bo();
+  EXPECT_EQ(bo.current_limit(), 4 * backoff::kMinSpins);
+}
+
+TEST(Backoff, LimitIsBounded) {
+  backoff bo;
+  for (int i = 0; i < 64; ++i) bo();
+  EXPECT_LE(bo.current_limit(), backoff::kMaxSpins);
+}
+
+TEST(Backoff, ResetRestoresMinimum) {
+  backoff bo;
+  for (int i = 0; i < 10; ++i) bo();
+  bo.reset();
+  EXPECT_EQ(bo.current_limit(), backoff::kMinSpins);
+}
+
+TEST(Backoff, CpuRelaxIsCallable) {
+  // Smoke test: must not crash or hang.
+  for (int i = 0; i < 1000; ++i) cpu_relax();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace lfst

@@ -1,0 +1,128 @@
+// Unit tests for the PRNGs and the geometric height distribution.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace lfst {
+namespace {
+
+TEST(SplitMix64, IsDeterministicForFixedSeed) {
+  splitmix64 a(42);
+  splitmix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  splitmix64 a(1);
+  splitmix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 1234567 from the public-domain SplitMix64.
+  splitmix64 g(1234567);
+  EXPECT_EQ(g.next(), 6457827717110365317ull);
+  EXPECT_EQ(g.next(), 3203168211198807973ull);
+}
+
+TEST(Xoshiro256, IsDeterministicForFixedSeed) {
+  xoshiro256ss a(7);
+  xoshiro256ss b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, ProducesDistinctValues) {
+  xoshiro256ss g(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(g.next());
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Xoshiro256, BelowRespectsBound) {
+  xoshiro256ss g(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(g.below(37), 37u);
+  }
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  xoshiro256ss g(11);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[g.below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.10);
+  }
+}
+
+TEST(GeometricLevel, ZeroIsMostCommon) {
+  xoshiro256ss g(3);
+  int zeros = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (geometric_level(g, /*q_log2=*/1, /*max=*/32) == 0) ++zeros;
+  }
+  // Pr(H=0) = 1 - q = 1/2.
+  EXPECT_NEAR(zeros, kDraws / 2, kDraws * 0.02);
+}
+
+TEST(GeometricLevel, MatchesGeometricTail) {
+  // With q = 2^-q_log2, Pr(H >= h) = q^h.  Check a couple of tail masses.
+  xoshiro256ss g(13);
+  constexpr int kDraws = 1 << 20;
+  const int q_log2 = 2;  // q = 1/4
+  std::array<int, 8> at_least{};
+  for (int i = 0; i < kDraws; ++i) {
+    const int h = geometric_level(g, q_log2, 32);
+    for (int k = 0; k < 8 && k <= h; ++k) ++at_least[k];
+  }
+  for (int h = 1; h < 5; ++h) {
+    const double expected = kDraws * std::pow(0.25, h);
+    EXPECT_NEAR(at_least[h], expected, expected * 0.15 + 20.0)
+        << "tail mass at h=" << h;
+  }
+}
+
+TEST(GeometricLevel, RespectsMaxHeight) {
+  xoshiro256ss g(17);
+  for (int i = 0; i < 200000; ++i) {
+    EXPECT_LE(geometric_level(g, 1, 3), 3);
+  }
+}
+
+TEST(GeometricLevel, PaperParameterMeanWidth) {
+  // The paper's best value is q = 1/32: expected height q/(1-q) ~= 0.032,
+  // i.e. roughly one in 32 elements gets raised at all.
+  xoshiro256ss g(23);
+  constexpr int kDraws = 1 << 20;
+  std::int64_t raised = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (geometric_level(g, 5, 32) > 0) ++raised;
+  }
+  const double expected = kDraws / 32.0;
+  EXPECT_NEAR(raised, expected, expected * 0.10);
+}
+
+TEST(ThreadSeed, DistinctPerThreadIndex) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t t = 0; t < 1000; ++t) seeds.insert(thread_seed(42, t));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(ThreadSeed, ReproducibleFromBase) {
+  EXPECT_EQ(thread_seed(7, 3), thread_seed(7, 3));
+  EXPECT_NE(thread_seed(7, 3), thread_seed(8, 3));
+}
+
+}  // namespace
+}  // namespace lfst

@@ -1,0 +1,119 @@
+// Tests for the reader-writer spinlock used by the B-link tree.
+#include "common/spin_rw_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace lfst {
+namespace {
+
+TEST(SpinRwLock, ExclusiveExcludesExclusive) {
+  spin_rw_lock l;
+  l.lock();
+  EXPECT_FALSE(l.try_lock());
+  l.unlock();
+  EXPECT_TRUE(l.try_lock());
+  l.unlock();
+}
+
+TEST(SpinRwLock, SharedAdmitsShared) {
+  spin_rw_lock l;
+  l.lock_shared();
+  EXPECT_TRUE(l.try_lock_shared());
+  l.unlock_shared();
+  l.unlock_shared();
+  EXPECT_FALSE(l.is_locked());
+}
+
+TEST(SpinRwLock, SharedExcludesExclusive) {
+  spin_rw_lock l;
+  l.lock_shared();
+  EXPECT_FALSE(l.try_lock());
+  l.unlock_shared();
+}
+
+TEST(SpinRwLock, ExclusiveExcludesShared) {
+  spin_rw_lock l;
+  l.lock();
+  EXPECT_FALSE(l.try_lock_shared());
+  l.unlock();
+}
+
+TEST(SpinRwLock, TryUpgradeSucceedsWhenSoleReader) {
+  spin_rw_lock l;
+  l.lock_shared();
+  EXPECT_TRUE(l.try_upgrade());
+  EXPECT_FALSE(l.try_lock_shared());
+  l.unlock();
+}
+
+TEST(SpinRwLock, TryUpgradeFailsWithOtherReaders) {
+  spin_rw_lock l;
+  l.lock_shared();
+  l.lock_shared();
+  EXPECT_FALSE(l.try_upgrade());
+  l.unlock_shared();
+  l.unlock_shared();
+}
+
+TEST(SpinRwLock, WritersAreMutuallyExclusiveUnderContention) {
+  spin_rw_lock l;
+  std::int64_t counter = 0;  // protected by l
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        exclusive_guard g(l);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIncrements);
+}
+
+TEST(SpinRwLock, ReadersObserveConsistentPairsUnderWriters) {
+  spin_rw_lock l;
+  std::int64_t a = 0;
+  std::int64_t b = 0;  // invariant under the lock: a == b
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        shared_guard g(l);
+        if (a != b) violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  {
+    for (int i = 0; i < 10000; ++i) {
+      exclusive_guard g(l);
+      ++a;
+      ++b;
+    }
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SharedGuard, ReleaseIsIdempotent) {
+  spin_rw_lock l;
+  shared_guard g(l);
+  g.release();
+  g.release();
+  EXPECT_FALSE(l.is_locked());
+}
+
+}  // namespace
+}  // namespace lfst

@@ -1,0 +1,74 @@
+// Unit tests for the statistics helpers used by the benchmark harness.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace lfst {
+namespace {
+
+TEST(RunningStats, SingleSample) {
+  running_stats rs;
+  rs.add(5.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndStddev) {
+  running_stats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample stddev of that classic data set is sqrt(32/7).
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  running_stats rs;
+  rs.add(-3.0);
+  rs.add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), -3.0);
+}
+
+TEST(RunningStats, StableUnderManySamples) {
+  running_stats rs;
+  for (int i = 0; i < 1000000; ++i) rs.add(1000000.0 + (i % 2));
+  EXPECT_NEAR(rs.mean(), 1000000.5, 1e-6);
+  EXPECT_NEAR(rs.stddev(), 0.5, 1e-3);
+}
+
+TEST(Summary, OfComputesAllFields) {
+  summary s = summary::of({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Summary, OfThrowsOnEmpty) {
+  EXPECT_THROW(summary::of({}), std::invalid_argument);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  std::vector<double> sorted{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(summary::percentile(sorted, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(summary::percentile(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(summary::percentile(sorted, 1.0), 20.0);
+}
+
+TEST(Summary, PercentileSingleElement) {
+  std::vector<double> sorted{7.0};
+  EXPECT_DOUBLE_EQ(summary::percentile(sorted, 0.95), 7.0);
+}
+
+}  // namespace
+}  // namespace lfst

@@ -1,0 +1,213 @@
+// Ordered-set conformance battery.
+//
+// One typed suite, five participants: the skip-tree (the paper's
+// contribution), the three baselines from Sec. V (skip-list, opt-tree,
+// B-link tree) plus the snap-tree, and a mutex-protected std::set as the
+// trivially correct reference.  Every structure must implement identical
+// linearizable set semantics; running the same battery over all of them is
+// what makes the benchmark comparison meaningful.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "avltree/opt_tree.hpp"
+#include "avltree/snap_tree.hpp"
+#include "blinktree/blink_tree.hpp"
+#include "common/ordered_set.hpp"
+#include "common/rng.hpp"
+#include "skiplist/skip_list.hpp"
+#include "skiptree/skip_tree.hpp"
+
+namespace lfst {
+namespace {
+
+template <typename S>
+class OrderedSetConformance : public ::testing::Test {
+ public:
+  S set;
+};
+
+using Implementations =
+    ::testing::Types<skiptree::skip_tree<long>, skiplist::skip_list<long>,
+                     avltree::opt_tree<long>, avltree::snap_tree<long>,
+                     blinktree::blink_tree<long>, locked_set<long>>;
+TYPED_TEST_SUITE(OrderedSetConformance, Implementations);
+
+TYPED_TEST(OrderedSetConformance, FreshSetIsEmpty) {
+  EXPECT_EQ(this->set.size(), 0u);
+  EXPECT_FALSE(this->set.contains(0));
+  EXPECT_FALSE(this->set.remove(0));
+}
+
+TYPED_TEST(OrderedSetConformance, AddIsIdempotentOnMembership) {
+  EXPECT_TRUE(this->set.add(11));
+  EXPECT_FALSE(this->set.add(11));
+  EXPECT_TRUE(this->set.contains(11));
+  EXPECT_EQ(this->set.size(), 1u);
+}
+
+TYPED_TEST(OrderedSetConformance, RemoveUndoesAdd) {
+  this->set.add(4);
+  EXPECT_TRUE(this->set.remove(4));
+  EXPECT_FALSE(this->set.contains(4));
+  EXPECT_FALSE(this->set.remove(4));
+  EXPECT_EQ(this->set.size(), 0u);
+}
+
+TYPED_TEST(OrderedSetConformance, AddRemoveAddCycles) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(this->set.add(7)) << i;
+    EXPECT_TRUE(this->set.remove(7)) << i;
+  }
+  EXPECT_FALSE(this->set.contains(7));
+}
+
+TYPED_TEST(OrderedSetConformance, ExtremeKeys) {
+  const long lo = std::numeric_limits<long>::min();
+  const long hi = std::numeric_limits<long>::max();
+  EXPECT_TRUE(this->set.add(lo));
+  EXPECT_TRUE(this->set.add(hi));
+  EXPECT_TRUE(this->set.add(0));
+  EXPECT_TRUE(this->set.contains(lo));
+  EXPECT_TRUE(this->set.contains(hi));
+  EXPECT_TRUE(this->set.remove(hi));
+  EXPECT_FALSE(this->set.contains(hi));
+  EXPECT_TRUE(this->set.contains(lo));
+}
+
+TYPED_TEST(OrderedSetConformance, SequentialOracleAgreement) {
+  std::set<long> oracle;
+  xoshiro256ss rng(1001);
+  for (int i = 0; i < 40000; ++i) {
+    const long k = static_cast<long>(rng.below(500));
+    switch (rng.below(3)) {
+      case 0:
+        ASSERT_EQ(this->set.add(k), oracle.insert(k).second) << "op " << i;
+        break;
+      case 1:
+        ASSERT_EQ(this->set.remove(k), oracle.erase(k) != 0) << "op " << i;
+        break;
+      default:
+        ASSERT_EQ(this->set.contains(k), oracle.count(k) != 0) << "op " << i;
+    }
+  }
+  EXPECT_EQ(this->set.size(), oracle.size());
+}
+
+TYPED_TEST(OrderedSetConformance, ForEachYieldsSortedUniqueMembers) {
+  std::set<long> oracle;
+  xoshiro256ss rng(2002);
+  for (int i = 0; i < 3000; ++i) {
+    const long k = static_cast<long>(rng.below(1 << 20));
+    this->set.add(k);
+    oracle.insert(k);
+  }
+  std::vector<long> seen;
+  this->set.for_each([&](long k) { seen.push_back(k); });
+  ASSERT_EQ(seen.size(), oracle.size());
+  EXPECT_TRUE(std::equal(seen.begin(), seen.end(), oracle.begin()));
+}
+
+TYPED_TEST(OrderedSetConformance, ConcurrentDisjointInsertions) {
+  constexpr int kThreads = 8;
+  constexpr long kPerThread = 8000;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      const long base = tid * kPerThread;
+      for (long i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(this->set.add(base + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(this->set.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  for (long k = 0; k < kThreads * kPerThread; k += 463) {
+    ASSERT_TRUE(this->set.contains(k)) << k;
+  }
+}
+
+TYPED_TEST(OrderedSetConformance, ConcurrentContendedOneWinnerPerKey) {
+  constexpr int kThreads = 8;
+  constexpr long kKeys = 2000;
+  std::atomic<long> wins{0};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&] {
+      long w = 0;
+      for (long k = 0; k < kKeys; ++k) w += this->set.add(k);
+      wins.fetch_add(w);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(this->set.size(), static_cast<std::size_t>(kKeys));
+}
+
+TYPED_TEST(OrderedSetConformance, ConcurrentMixedNetEffect) {
+  constexpr int kThreads = 8;
+  constexpr long kRange = 1500;
+  std::vector<std::vector<int>> deltas(kThreads, std::vector<int>(kRange, 0));
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      xoshiro256ss rng(thread_seed(909, static_cast<std::uint64_t>(tid)));
+      for (int i = 0; i < 30000; ++i) {
+        const long k = static_cast<long>(rng.below(kRange));
+        switch (rng.below(3)) {
+          case 0:
+            if (this->set.add(k)) deltas[tid][k] += 1;
+            break;
+          case 1:
+            if (this->set.remove(k)) deltas[tid][k] -= 1;
+            break;
+          default:
+            this->set.contains(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (long k = 0; k < kRange; ++k) {
+    int net = 0;
+    for (int tid = 0; tid < kThreads; ++tid) net += deltas[tid][k];
+    ASSERT_TRUE(net == 0 || net == 1) << "key " << k;
+    ASSERT_EQ(this->set.contains(k), net == 1) << "key " << k;
+  }
+}
+
+TYPED_TEST(OrderedSetConformance, ReadersUnderChurnSeePermanentKeys) {
+  for (long k = 0; k < 100; ++k) this->set.add(k * 10);
+  std::atomic<bool> stop{false};
+  std::atomic<int> misses{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (long k = 0; k < 100; k += 7) {
+        if (!this->set.contains(k * 10)) misses.fetch_add(1);
+      }
+    }
+  });
+  std::thread churn([&] {
+    xoshiro256ss rng(3003);
+    for (int i = 0; i < 30000; ++i) {
+      const long k = static_cast<long>(rng.below(100)) * 10 + 1 +
+                     static_cast<long>(rng.below(8));
+      if (rng.below(2) == 0) {
+        this->set.add(k);
+      } else {
+        this->set.remove(k);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  churn.join();
+  reader.join();
+  EXPECT_EQ(misses.load(), 0);
+}
+
+}  // namespace
+}  // namespace lfst

@@ -1,0 +1,81 @@
+// Tests for the memory-accounting hooks (the mechanism probe behind
+// bench/memory_per_key).
+#include <gtest/gtest.h>
+
+#include "avltree/opt_tree.hpp"
+#include "blinktree/blink_tree.hpp"
+#include "common/rng.hpp"
+#include "skiplist/skip_list.hpp"
+#include "skiptree/skip_tree.hpp"
+#include "skiptree/validate.hpp"
+
+namespace lfst {
+namespace {
+
+TEST(Footprint, ContentsByteSizeMatchesLayout) {
+  using C = skiptree::contents<long>;
+  C* leaf = C::make_initial_leaf();
+  EXPECT_GE(leaf->byte_size(), sizeof(C));
+  C::destroy(leaf);
+
+  const long ks[] = {1, 2, 3, 4};
+  C* with_keys = C::make_leaf(ks, false, nullptr);
+  C* fewer = C::make_leaf({ks, 2}, false, nullptr);
+  EXPECT_EQ(with_keys->byte_size() - fewer->byte_size(), 2 * sizeof(long));
+  C::destroy(with_keys);
+  C::destroy(fewer);
+}
+
+TEST(Footprint, SkipTreeLiveBytesScaleWithSize) {
+  skiptree::skip_tree<long> t;
+  skiptree::skip_tree_inspector<long> insp(t);
+  const std::size_t empty_bytes = insp.live_bytes();
+  for (long k = 0; k < 10000; ++k) t.add(k);
+  const std::size_t full_bytes = insp.live_bytes();
+  EXPECT_GT(full_bytes, empty_bytes + 10000 * sizeof(long));
+  // Packed nodes: overhead must stay within a small factor of raw keys.
+  EXPECT_LT(full_bytes, 10000 * sizeof(long) * 4);
+}
+
+TEST(Footprint, SkipTreeBytesPerKeyShrinkWithWiderNodes) {
+  auto bytes_per_key = [](int q_log2) {
+    skiptree::skip_tree_options o;
+    o.q_log2 = q_log2;
+    skiptree::skip_tree<long> t(o);
+    for (long k = 0; k < 20000; ++k) t.add(k);
+    return static_cast<double>(
+               skiptree::skip_tree_inspector<long>(t).live_bytes()) /
+           20000.0;
+  };
+  EXPECT_GT(bytes_per_key(1), bytes_per_key(5));
+}
+
+TEST(Footprint, SkipListFootprintCountsTowers) {
+  skiplist::skip_list<long> l;
+  const std::size_t empty_bytes = l.memory_footprint();
+  for (long k = 0; k < 10000; ++k) l.add(k);
+  const std::size_t full_bytes = l.memory_footprint();
+  // At least one node (key + >= 1 tower slot) per element.
+  EXPECT_GE(full_bytes - empty_bytes, 10000 * (sizeof(long) + 8));
+}
+
+TEST(Footprint, BlinkTreeFootprintCountsReservedCapacity) {
+  blinktree::blink_tree_options o;
+  o.min_node_size = 8;
+  blinktree::blink_tree<long> t(o);
+  const std::size_t empty_bytes = t.memory_footprint();
+  EXPECT_GT(empty_bytes, 0u);
+  for (long k = 0; k < 1000; ++k) t.add(k);
+  EXPECT_GT(t.memory_footprint(), empty_bytes);
+}
+
+TEST(Footprint, OptTreeFootprintTracksCensus) {
+  avltree::opt_tree<long> t;
+  for (long k = 0; k < 1000; ++k) t.add(k);
+  const auto census = t.census();
+  EXPECT_EQ(census.nodes, 1000u);
+  EXPECT_GT(t.memory_footprint(), census.nodes * 32);
+}
+
+}  // namespace
+}  // namespace lfst

@@ -1,0 +1,115 @@
+// Ordered-query conformance: lower_bound / first / for_range behave
+// identically across the structures that provide them.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "blinktree/blink_tree.hpp"
+#include "common/rng.hpp"
+#include "skiplist/skip_list.hpp"
+#include "skiptree/skip_tree.hpp"
+
+namespace lfst {
+namespace {
+
+template <typename S>
+class OrderedQueryConformance : public ::testing::Test {
+ public:
+  S set;
+};
+
+using Implementations =
+    ::testing::Types<skiptree::skip_tree<long>, skiplist::skip_list<long>,
+                     blinktree::blink_tree<long>>;
+TYPED_TEST_SUITE(OrderedQueryConformance, Implementations);
+
+TYPED_TEST(OrderedQueryConformance, LowerBoundEmpty) {
+  long out = 0;
+  EXPECT_FALSE(this->set.lower_bound(0, out));
+  EXPECT_FALSE(this->set.first(out));
+}
+
+TYPED_TEST(OrderedQueryConformance, LowerBoundAgainstOracle) {
+  std::set<long> oracle;
+  xoshiro256ss rng(404);
+  for (int i = 0; i < 3000; ++i) {
+    const long k = static_cast<long>(rng.below(10000));
+    this->set.add(k);
+    oracle.insert(k);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const long k = static_cast<long>(rng.below(10000));
+    this->set.remove(k);
+    oracle.erase(k);
+  }
+  for (long probe = -5; probe < 10010; probe += 13) {
+    long out = 0;
+    const bool got = this->set.lower_bound(probe, out);
+    auto it = oracle.lower_bound(probe);
+    ASSERT_EQ(got, it != oracle.end()) << probe;
+    if (got) {
+      ASSERT_EQ(out, *it) << probe;
+    }
+  }
+}
+
+TYPED_TEST(OrderedQueryConformance, FirstIsMinimum) {
+  this->set.add(50);
+  this->set.add(10);
+  this->set.add(90);
+  long out = 0;
+  ASSERT_TRUE(this->set.first(out));
+  EXPECT_EQ(out, 10);
+  this->set.remove(10);
+  ASSERT_TRUE(this->set.first(out));
+  EXPECT_EQ(out, 50);
+}
+
+TYPED_TEST(OrderedQueryConformance, ForRangeAgainstOracle) {
+  std::set<long> oracle;
+  xoshiro256ss rng(505);
+  for (int i = 0; i < 2000; ++i) {
+    const long k = static_cast<long>(rng.below(5000));
+    this->set.add(k);
+    oracle.insert(k);
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    const long lo = static_cast<long>(rng.below(5000));
+    const long hi = lo + static_cast<long>(rng.below(1500));
+    std::vector<long> got;
+    this->set.for_range(lo, hi, [&](long k) {
+      got.push_back(k);
+      return true;
+    });
+    std::vector<long> want(oracle.lower_bound(lo), oracle.lower_bound(hi));
+    ASSERT_EQ(got, want) << "[" << lo << ", " << hi << ")";
+  }
+}
+
+TYPED_TEST(OrderedQueryConformance, ForRangeEarlyExit) {
+  for (long k = 0; k < 200; ++k) this->set.add(k);
+  int visited = 0;
+  const bool exhausted =
+      this->set.for_range(50, 150, [&](long) { return ++visited < 7; });
+  EXPECT_FALSE(exhausted);
+  EXPECT_EQ(visited, 7);
+}
+
+TYPED_TEST(OrderedQueryConformance, EmptyRangeWindows) {
+  for (long k = 0; k < 100; k += 10) this->set.add(k);
+  int visited = 0;
+  EXPECT_TRUE(this->set.for_range(41, 49, [&](long) {
+    ++visited;
+    return true;
+  }));
+  EXPECT_EQ(visited, 0);
+  EXPECT_TRUE(this->set.for_range(200, 300, [&](long) {
+    ++visited;
+    return true;
+  }));
+  EXPECT_EQ(visited, 0);
+}
+
+}  // namespace
+}  // namespace lfst

@@ -1,0 +1,186 @@
+// Tests for the Michael-Harris linked list under all three reclamation
+// schemes (EBR, hazard pointers, leaky).
+#include "list/harris_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/ordered_set.hpp"
+#include "common/rng.hpp"
+
+namespace lfst::list {
+namespace {
+
+static_assert(lfst::concurrent_ordered_set<harris_list<long>>);
+static_assert(lfst::concurrent_ordered_set<harris_list_hp<long>>);
+
+template <typename L>
+class HarrisListTyped : public ::testing::Test {
+ public:
+  L list;
+};
+
+using ListTypes = ::testing::Types<
+    harris_list<long>,                                           // EBR
+    harris_list<long, std::less<long>, reclaim::leaky_policy>,   // leaky
+    harris_list_hp<long>>;                                       // hazard
+TYPED_TEST_SUITE(HarrisListTyped, ListTypes);
+
+TYPED_TEST(HarrisListTyped, EmptyList) {
+  EXPECT_FALSE(this->list.contains(1));
+  EXPECT_FALSE(this->list.remove(1));
+  EXPECT_EQ(this->list.size(), 0u);
+}
+
+TYPED_TEST(HarrisListTyped, AddContainsRemoveRoundTrip) {
+  EXPECT_TRUE(this->list.add(5));
+  EXPECT_FALSE(this->list.add(5));
+  EXPECT_TRUE(this->list.contains(5));
+  EXPECT_TRUE(this->list.remove(5));
+  EXPECT_FALSE(this->list.contains(5));
+  EXPECT_FALSE(this->list.remove(5));
+}
+
+TYPED_TEST(HarrisListTyped, SortedOrderMaintained) {
+  for (long k : {9, 1, 5, 3, 7}) this->list.add(k);
+  std::vector<long> seen;
+  this->list.for_each([&](long k) { seen.push_back(k); });
+  EXPECT_EQ(seen, (std::vector<long>{1, 3, 5, 7, 9}));
+}
+
+TYPED_TEST(HarrisListTyped, HeadInsertionAndRemoval) {
+  this->list.add(10);
+  this->list.add(5);   // new head
+  this->list.add(1);   // new head again
+  EXPECT_TRUE(this->list.remove(1));
+  EXPECT_TRUE(this->list.contains(5));
+  EXPECT_TRUE(this->list.remove(5));
+  EXPECT_TRUE(this->list.contains(10));
+}
+
+TYPED_TEST(HarrisListTyped, OracleAgreement) {
+  std::set<long> oracle;
+  xoshiro256ss rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    const long k = static_cast<long>(rng.below(200));
+    switch (rng.below(3)) {
+      case 0:
+        ASSERT_EQ(this->list.add(k), oracle.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(this->list.remove(k), oracle.erase(k) != 0);
+        break;
+      default:
+        ASSERT_EQ(this->list.contains(k), oracle.count(k) != 0);
+    }
+  }
+  EXPECT_EQ(this->list.count_keys(), oracle.size());
+}
+
+TYPED_TEST(HarrisListTyped, ConcurrentDisjointInsertions) {
+  constexpr int kThreads = 8;
+  constexpr long kPerThread = 2000;  // list is O(n): keep it modest
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      const long base = tid * kPerThread;
+      for (long i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(this->list.add(base + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(this->list.count_keys(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TYPED_TEST(HarrisListTyped, ConcurrentMixedNetEffect) {
+  constexpr int kThreads = 8;
+  constexpr long kRange = 256;
+  std::vector<std::vector<int>> deltas(kThreads, std::vector<int>(kRange, 0));
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      xoshiro256ss rng(thread_seed(404, static_cast<std::uint64_t>(tid)));
+      for (int i = 0; i < 30000; ++i) {
+        const long k = static_cast<long>(rng.below(kRange));
+        switch (rng.below(3)) {
+          case 0:
+            if (this->list.add(k)) deltas[tid][k] += 1;
+            break;
+          case 1:
+            if (this->list.remove(k)) deltas[tid][k] -= 1;
+            break;
+          default:
+            this->list.contains(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (long k = 0; k < kRange; ++k) {
+    int net = 0;
+    for (int tid = 0; tid < kThreads; ++tid) net += deltas[tid][k];
+    ASSERT_TRUE(net == 0 || net == 1) << k;
+    ASSERT_EQ(this->list.contains(k), net == 1) << k;
+  }
+}
+
+TYPED_TEST(HarrisListTyped, RemovalChurnStress) {
+  // Constant add/remove of the same keys maximizes marked-node traffic
+  // (helping, retirement); any reclamation bug crashes here or under ASan.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      xoshiro256ss rng(thread_seed(505, static_cast<std::uint64_t>(tid)));
+      for (int i = 0; i < 40000; ++i) {
+        const long k = static_cast<long>(rng.below(32));
+        if (rng.below(2) == 0) {
+          this->list.add(k);
+        } else {
+          this->list.remove(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(this->list.count_keys(), 32u);
+}
+
+TYPED_TEST(HarrisListTyped, IterationUnderChurnStaysSorted) {
+  for (long k = 0; k < 200; k += 2) this->list.add(k);
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      long prev = -1;
+      this->list.for_each([&](long k) {
+        if (k <= prev) violations.fetch_add(1);
+        prev = k;
+      });
+    }
+  });
+  std::thread churn([&] {
+    xoshiro256ss rng(3);
+    for (int i = 0; i < 30000; ++i) {
+      const long k = 1 + 2 * static_cast<long>(rng.below(100));
+      if (rng.below(2) == 0) {
+        this->list.add(k);
+      } else {
+        this->list.remove(k);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  churn.join();
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+}  // namespace
+}  // namespace lfst::list

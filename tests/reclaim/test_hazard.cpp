@@ -1,0 +1,153 @@
+// Tests for hazard pointers: protection, validation loop, scan behaviour,
+// and a concurrent use-after-retire stress.
+#include "reclaim/hazard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace lfst::reclaim {
+namespace {
+
+struct counted {
+  static std::atomic<int> live;
+  std::uint64_t a = 0;
+  std::uint64_t b = ~std::uint64_t{0};
+  counted() { live.fetch_add(1, std::memory_order_relaxed); }
+  counted(std::uint64_t x) : a(x), b(~x) {
+    live.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~counted() { live.fetch_sub(1, std::memory_order_relaxed); }
+};
+std::atomic<int> counted::live{0};
+
+TEST(Hazard, ProtectReturnsCurrentValue) {
+  hp_domain d;
+  std::atomic<counted*> src{new counted(7)};
+  {
+    hp_domain::holder h(d);
+    counted* p = h.protect(0, src);
+    EXPECT_EQ(p, src.load());
+    EXPECT_EQ(p->a, 7u);
+  }
+  delete src.load();
+}
+
+TEST(Hazard, ProtectedObjectSurvivesScan) {
+  hp_domain d;
+  std::atomic<counted*> src{new counted(1)};
+  hp_domain::holder h(d);
+  counted* p = h.protect(0, src);
+  const int before = counted::live.load();
+  d.retire(p);       // retired while protected
+  d.scan_now();      // must NOT free p
+  EXPECT_EQ(counted::live.load(), before);
+  EXPECT_EQ(p->a, 1u);  // still dereferenceable
+  h.clear_all();
+  d.scan_now();      // now unprotected: freed
+  EXPECT_EQ(counted::live.load(), before - 1);
+}
+
+TEST(Hazard, UnprotectedRetireIsFreedByScan) {
+  hp_domain d;
+  const int before = counted::live.load();
+  d.retire(new counted(2));
+  d.scan_now();
+  EXPECT_EQ(counted::live.load(), before);
+}
+
+TEST(Hazard, ClearSlotReleasesOnlyThatSlot) {
+  hp_domain d;
+  std::atomic<counted*> s0{new counted(10)};
+  std::atomic<counted*> s1{new counted(11)};
+  hp_domain::holder h(d);
+  counted* p0 = h.protect(0, s0);
+  counted* p1 = h.protect(1, s1);
+  const int before = counted::live.load();
+  d.retire(p0);
+  d.retire(p1);
+  h.clear(0);
+  d.scan_now();
+  EXPECT_EQ(counted::live.load(), before - 1);  // p0 freed, p1 kept
+  EXPECT_EQ(p1->a, 11u);
+  h.clear(1);
+  d.scan_now();
+  EXPECT_EQ(counted::live.load(), before - 2);
+}
+
+TEST(Hazard, ProtectRevalidatesAfterSwap) {
+  // If the source changes between the read and the publication, protect()
+  // must loop and return the fresh value.
+  hp_domain d;
+  counted* first = new counted(1);
+  counted* second = new counted(2);
+  std::atomic<counted*> src{first};
+
+  // Single-threaded simulation of the race: swap before protecting.
+  src.store(second);
+  hp_domain::holder h(d);
+  counted* p = h.protect(0, src);
+  EXPECT_EQ(p, second);
+  delete first;
+  h.clear_all();
+  delete second;
+}
+
+TEST(Hazard, DestructorDrainsRetired) {
+  const int before = counted::live.load();
+  {
+    hp_domain d;
+    for (int i = 0; i < 100; ++i) d.retire(new counted(i));
+  }
+  EXPECT_EQ(counted::live.load(), before);
+}
+
+TEST(HazardStress, ReadersNeverObserveFreedMemory) {
+  hp_domain d;
+  std::atomic<counted*> shared{new counted(1)};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      hp_domain::holder h(d);
+      while (!stop.load(std::memory_order_acquire)) {
+        counted* p = h.protect(0, shared);
+        if (p->b != ~p->a) violations.fetch_add(1);
+        h.clear(0);
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (std::uint64_t i = 2; i < 40000; ++i) {
+      counted* fresh = new counted(i);
+      counted* old = shared.exchange(fresh, std::memory_order_acq_rel);
+      d.retire(old);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(violations.load(), 0u);
+  delete shared.load();
+  d.scan_now();
+}
+
+TEST(HazardStress, RetiredBacklogStaysBounded) {
+  // With at most kHpSlotsPerThread protected pointers per thread, the
+  // per-thread retired list must stay within the scan threshold.
+  hp_domain d;
+  for (int i = 0; i < 100000; ++i) d.retire(new counted(i));
+  EXPECT_LE(d.my_retired_size(),
+            2 * kHpSlotsPerThread * kHpMaxThreads + 1024);
+  d.scan_now();
+  EXPECT_EQ(d.my_retired_size(), 0u);
+}
+
+}  // namespace
+}  // namespace lfst::reclaim

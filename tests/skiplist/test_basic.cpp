@@ -1,0 +1,130 @@
+// Sequential tests of the lock-free skip-list baseline.
+#include "skiplist/skip_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ordered_set.hpp"
+
+namespace lfst::skiplist {
+namespace {
+
+using list_t = skip_list<int>;
+
+static_assert(lfst::concurrent_ordered_set<skip_list<int>>);
+
+TEST(SkipListBasic, EmptyList) {
+  list_t l;
+  EXPECT_EQ(l.size(), 0u);
+  EXPECT_FALSE(l.contains(3));
+  EXPECT_FALSE(l.remove(3));
+}
+
+TEST(SkipListBasic, AddContainsRemoveRoundTrip) {
+  list_t l;
+  EXPECT_TRUE(l.add(10));
+  EXPECT_TRUE(l.contains(10));
+  EXPECT_FALSE(l.add(10));
+  EXPECT_TRUE(l.remove(10));
+  EXPECT_FALSE(l.contains(10));
+  EXPECT_FALSE(l.remove(10));
+}
+
+TEST(SkipListBasic, TallTowersLinkCorrectly) {
+  list_t l;
+  // Explicit heights force links at every level.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(l.add_with_level(i, i % 8));
+  }
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(l.contains(i)) << i;
+  EXPECT_EQ(l.size(), 64u);
+}
+
+TEST(SkipListBasic, RemoveTallTower) {
+  list_t l;
+  l.add_with_level(5, 10);
+  l.add_with_level(3, 0);
+  l.add_with_level(7, 2);
+  ASSERT_TRUE(l.remove(5));
+  EXPECT_FALSE(l.contains(5));
+  EXPECT_TRUE(l.contains(3));
+  EXPECT_TRUE(l.contains(7));
+}
+
+TEST(SkipListBasic, MatchesStdSetUnderRandomOps) {
+  list_t l;
+  std::set<int> oracle;
+  std::mt19937 rng(777);
+  std::uniform_int_distribution<int> key(0, 300);
+  std::uniform_int_distribution<int> op(0, 2);
+  for (int i = 0; i < 50000; ++i) {
+    const int k = key(rng);
+    switch (op(rng)) {
+      case 0:
+        ASSERT_EQ(l.add(k), oracle.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(l.remove(k), oracle.erase(k) != 0);
+        break;
+      default:
+        ASSERT_EQ(l.contains(k), oracle.count(k) != 0);
+    }
+  }
+  EXPECT_EQ(l.size(), oracle.size());
+  EXPECT_EQ(l.count_keys(), oracle.size());
+}
+
+TEST(SkipListBasic, ForEachIsSortedAndComplete) {
+  list_t l;
+  for (int k : {9, 1, 5, 3, 7}) l.add(k);
+  std::vector<int> seen;
+  l.for_each([&](int k) { seen.push_back(k); });
+  EXPECT_EQ(seen, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(SkipListBasic, StringKeys) {
+  skip_list<std::string> l;
+  EXPECT_TRUE(l.add("m"));
+  EXPECT_TRUE(l.add("a"));
+  EXPECT_TRUE(l.add("z"));
+  EXPECT_TRUE(l.remove("m"));
+  std::vector<std::string> seen;
+  l.for_each([&](const std::string& s) { seen.push_back(s); });
+  EXPECT_EQ(seen, (std::vector<std::string>{"a", "z"}));
+}
+
+TEST(SkipListBasic, ReverseComparator) {
+  skip_list<int, std::greater<int>> l;
+  l.add(1);
+  l.add(5);
+  l.add(3);
+  std::vector<int> seen;
+  l.for_each([&](int k) { seen.push_back(k); });
+  EXPECT_EQ(seen, (std::vector<int>{5, 3, 1}));
+}
+
+TEST(SkipListBasic, GrowShrinkCycles) {
+  list_t l;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 2000; ++i) ASSERT_TRUE(l.add(i));
+    for (int i = 0; i < 2000; ++i) ASSERT_TRUE(l.remove(i));
+    ASSERT_EQ(l.size(), 0u);
+    ASSERT_EQ(l.count_keys(), 0u);
+  }
+}
+
+TEST(SkipListBasic, MaxLevelOptionIsRespected) {
+  skip_list_options opts;
+  opts.max_level = 4;
+  skip_list<int> l(opts);
+  for (int i = 0; i < 10000; ++i) l.add(i);
+  for (int i = 0; i < 10000; i += 997) EXPECT_TRUE(l.contains(i));
+  EXPECT_EQ(l.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace lfst::skiplist

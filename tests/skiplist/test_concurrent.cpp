@@ -1,0 +1,151 @@
+// Concurrent stress tests of the lock-free skip-list.
+#include "skiplist/skip_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lfst::skiplist {
+namespace {
+
+using list_t = skip_list<long>;
+constexpr int kThreads = 8;
+
+TEST(SkipListConcurrent, DisjointInsertions) {
+  list_t l;
+  constexpr long kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      const long base = tid * kPerThread;
+      for (long i = 0; i < kPerThread; ++i) ASSERT_TRUE(l.add(base + i));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(l.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(l.count_keys(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(SkipListConcurrent, ContendedAddRemoveOneWinner) {
+  list_t l;
+  constexpr long kKeys = 4000;
+  std::atomic<long> add_wins{0};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&] {
+      long wins = 0;
+      for (long k = 0; k < kKeys; ++k) wins += l.add(k);
+      add_wins.fetch_add(wins);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(add_wins.load(), kKeys);
+
+  std::atomic<long> rm_wins{0};
+  threads.clear();
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&] {
+      long wins = 0;
+      for (long k = 0; k < kKeys; ++k) wins += l.remove(k);
+      rm_wins.fetch_add(wins);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(rm_wins.load(), kKeys);
+  EXPECT_EQ(l.size(), 0u);
+  EXPECT_EQ(l.count_keys(), 0u);
+}
+
+TEST(SkipListConcurrent, MixedNetEffectMatchesLogs) {
+  list_t l;
+  constexpr long kRange = 3000;
+  std::vector<std::vector<int>> deltas(kThreads, std::vector<int>(kRange, 0));
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      xoshiro256ss rng(thread_seed(55, static_cast<std::uint64_t>(tid)));
+      for (int i = 0; i < 60000; ++i) {
+        const long k = static_cast<long>(rng.below(kRange));
+        switch (rng.below(3)) {
+          case 0:
+            if (l.add(k)) deltas[tid][k] += 1;
+            break;
+          case 1:
+            if (l.remove(k)) deltas[tid][k] -= 1;
+            break;
+          default:
+            l.contains(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::size_t expected = 0;
+  for (long k = 0; k < kRange; ++k) {
+    int net = 0;
+    for (int tid = 0; tid < kThreads; ++tid) net += deltas[tid][k];
+    ASSERT_TRUE(net == 0 || net == 1) << k;
+    ASSERT_EQ(l.contains(k), net == 1) << k;
+    expected += static_cast<std::size_t>(net);
+  }
+  EXPECT_EQ(l.count_keys(), expected);
+}
+
+TEST(SkipListConcurrent, IterationStaysSortedUnderChurn) {
+  list_t l;
+  for (long k = 0; k < 1000; k += 2) l.add(k);
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      long prev = -1;
+      l.for_each([&](long k) {
+        if (k <= prev) violations.fetch_add(1);
+        prev = k;
+      });
+    }
+  });
+  std::thread churn([&] {
+    xoshiro256ss rng(3);
+    for (int i = 0; i < 60000; ++i) {
+      const long k = 1 + 2 * static_cast<long>(rng.below(500));
+      if (rng.below(2) == 0) {
+        l.add(k);
+      } else {
+        l.remove(k);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  churn.join();
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(SkipListConcurrent, ReclamationChurnSurvives) {
+  // Heavy add/remove of the same keys cycles node retirement constantly.
+  list_t l;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      xoshiro256ss rng(thread_seed(8, static_cast<std::uint64_t>(tid)));
+      for (int i = 0; i < 100000; ++i) {
+        const long k = static_cast<long>(rng.below(128));
+        if (rng.below(2) == 0) {
+          l.add(k);
+        } else {
+          l.remove(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(l.count_keys(), 128u);
+}
+
+}  // namespace
+}  // namespace lfst::skiplist

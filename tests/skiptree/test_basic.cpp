@@ -1,0 +1,205 @@
+// Sequential black-box tests of the skip-tree ordered-set semantics.
+#include "skiptree/skip_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ordered_set.hpp"
+#include "skiptree/validate.hpp"
+
+namespace lfst::skiptree {
+namespace {
+
+using tree_t = skip_tree<int>;
+
+static_assert(lfst::concurrent_ordered_set<skip_tree<int>>);
+static_assert(lfst::concurrent_ordered_set<skip_tree<long>>);
+
+TEST(SkipTreeBasic, EmptyTree) {
+  tree_t t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.contains(0));
+  EXPECT_FALSE(t.contains(-5));
+  EXPECT_FALSE(t.remove(1));
+  EXPECT_EQ(t.height(), 0);
+}
+
+TEST(SkipTreeBasic, AddThenContains) {
+  tree_t t;
+  EXPECT_TRUE(t.add(42));
+  EXPECT_TRUE(t.contains(42));
+  EXPECT_FALSE(t.contains(41));
+  EXPECT_FALSE(t.contains(43));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SkipTreeBasic, DuplicateAddFails) {
+  tree_t t;
+  EXPECT_TRUE(t.add(7));
+  EXPECT_FALSE(t.add(7));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SkipTreeBasic, RemoveRestoresAbsence) {
+  tree_t t;
+  t.add(5);
+  EXPECT_TRUE(t.remove(5));
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_FALSE(t.remove(5));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(SkipTreeBasic, ReAddAfterRemove) {
+  tree_t t;
+  t.add(9);
+  t.remove(9);
+  EXPECT_TRUE(t.add(9));
+  EXPECT_TRUE(t.contains(9));
+}
+
+TEST(SkipTreeBasic, NegativeAndBoundaryKeys) {
+  tree_t t;
+  EXPECT_TRUE(t.add(0));
+  EXPECT_TRUE(t.add(-1));
+  EXPECT_TRUE(t.add(std::numeric_limits<int>::min()));
+  EXPECT_TRUE(t.add(std::numeric_limits<int>::max()));
+  EXPECT_TRUE(t.contains(std::numeric_limits<int>::min()));
+  EXPECT_TRUE(t.contains(std::numeric_limits<int>::max()));
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(SkipTreeBasic, AscendingInsertionSequence) {
+  tree_t t;
+  for (int i = 0; i < 2000; ++i) ASSERT_TRUE(t.add(i));
+  for (int i = 0; i < 2000; ++i) ASSERT_TRUE(t.contains(i)) << i;
+  EXPECT_FALSE(t.contains(2000));
+  EXPECT_EQ(t.size(), 2000u);
+  auto rep = skip_tree_inspector<int>(t).validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+TEST(SkipTreeBasic, DescendingInsertionSequence) {
+  tree_t t;
+  for (int i = 1999; i >= 0; --i) ASSERT_TRUE(t.add(i));
+  for (int i = 0; i < 2000; ++i) ASSERT_TRUE(t.contains(i)) << i;
+  EXPECT_EQ(t.size(), 2000u);
+  auto rep = skip_tree_inspector<int>(t).validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+TEST(SkipTreeBasic, InterleavedAddRemoveMatchesStdSet) {
+  tree_t t;
+  std::set<int> oracle;
+  std::mt19937 rng(12345);
+  std::uniform_int_distribution<int> key(0, 499);
+  std::uniform_int_distribution<int> op(0, 2);
+  for (int i = 0; i < 50000; ++i) {
+    const int k = key(rng);
+    switch (op(rng)) {
+      case 0:
+        ASSERT_EQ(t.add(k), oracle.insert(k).second) << "add " << k;
+        break;
+      case 1:
+        ASSERT_EQ(t.remove(k), oracle.erase(k) != 0) << "remove " << k;
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), oracle.count(k) != 0) << "contains " << k;
+    }
+  }
+  EXPECT_EQ(t.size(), oracle.size());
+  EXPECT_EQ(t.count_keys(), oracle.size());
+  auto rep = skip_tree_inspector<int>(t).validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+TEST(SkipTreeBasic, ForEachVisitsSortedKeys) {
+  tree_t t;
+  std::vector<int> keys{42, 7, 19, 3, 88, 21};
+  for (int k : keys) t.add(k);
+  std::vector<int> visited;
+  t.for_each([&](int k) { visited.push_back(k); });
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(visited, keys);
+}
+
+TEST(SkipTreeBasic, ForEachWhileStopsEarly) {
+  tree_t t;
+  for (int i = 0; i < 100; ++i) t.add(i);
+  int seen = 0;
+  const bool completed = t.for_each_while([&](int) { return ++seen < 10; });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(SkipTreeBasic, CustomComparatorReverseOrder) {
+  skip_tree<int, std::greater<int>> t;
+  t.add(1);
+  t.add(2);
+  t.add(3);
+  std::vector<int> visited;
+  t.for_each([&](int k) { visited.push_back(k); });
+  EXPECT_EQ(visited, (std::vector<int>{3, 2, 1}));
+  EXPECT_TRUE(t.contains(2));
+  EXPECT_TRUE(t.remove(2));
+  EXPECT_FALSE(t.contains(2));
+}
+
+TEST(SkipTreeBasic, NonTrivialKeyType) {
+  skip_tree<std::string> t;
+  EXPECT_TRUE(t.add("banana"));
+  EXPECT_TRUE(t.add("apple"));
+  EXPECT_TRUE(t.add("cherry"));
+  EXPECT_FALSE(t.add("apple"));
+  EXPECT_TRUE(t.contains("banana"));
+  EXPECT_TRUE(t.remove("banana"));
+  EXPECT_FALSE(t.contains("banana"));
+  std::vector<std::string> visited;
+  t.for_each([&](const std::string& s) { visited.push_back(s); });
+  EXPECT_EQ(visited, (std::vector<std::string>{"apple", "cherry"}));
+}
+
+TEST(SkipTreeBasic, GrowShrinkGrowCycles) {
+  tree_t t;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 1000; ++i) ASSERT_TRUE(t.add(i));
+    EXPECT_EQ(t.size(), 1000u);
+    for (int i = 0; i < 1000; ++i) ASSERT_TRUE(t.remove(i));
+    EXPECT_EQ(t.size(), 0u);
+    auto rep = skip_tree_inspector<int>(t).validate();
+    ASSERT_TRUE(rep.ok) << "cycle " << cycle << ": " << rep.to_string();
+  }
+}
+
+TEST(SkipTreeBasic, RemoveEverySecondKey) {
+  tree_t t;
+  for (int i = 0; i < 1000; ++i) t.add(i);
+  for (int i = 0; i < 1000; i += 2) ASSERT_TRUE(t.remove(i));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(t.contains(i), i % 2 == 1) << i;
+  }
+  EXPECT_EQ(t.size(), 500u);
+}
+
+TEST(SkipTreeBasic, HeightGrowsWithSize) {
+  skip_tree_options opts;
+  opts.q_log2 = 1;  // q = 1/2 raises aggressively
+  tree_t t(opts);
+  for (int i = 0; i < 4000; ++i) t.add(i);
+  EXPECT_GT(t.height(), 2);
+}
+
+TEST(SkipTreeBasic, SizeNeverUnderflows) {
+  tree_t t;
+  t.remove(1);
+  t.remove(2);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace lfst::skiptree

@@ -1,0 +1,155 @@
+// Tests for the four online node-compaction transformations (paper Fig. 8).
+//
+// Mutations deliberately degrade the structure (empty nodes, suboptimal
+// references, duplicate references); compaction piggybacks on remove()
+// traversals and must (a) never break the invariants and (b) actually drive
+// the degradation back down.  The census from the validator quantifies (b).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "skiptree/skip_tree.hpp"
+#include "skiptree/validate.hpp"
+
+namespace lfst::skiptree {
+namespace {
+
+using tree_t = skip_tree<int>;
+using inspector_t = skip_tree_inspector<int>;
+
+/// Drive compaction: removes of absent keys traverse with cleanup but do
+/// not change membership.
+void cleanup_pass(tree_t& t, int lo, int hi, int step = 1) {
+  for (int k = lo; k < hi; k += step) t.remove(k);
+}
+
+TEST(SkipTreeCompaction, EmptyLeafNodesAreBypassed) {
+  tree_t t;
+  // Raised keys split the leaf level into many nodes...
+  for (int i = 0; i < 512; ++i) t.add_with_height(i, i % 4 == 0 ? 1 : 0);
+  // ...then deleting everything leaves empty leaf nodes behind.
+  for (int i = 0; i < 512; ++i) ASSERT_TRUE(t.remove(i));
+  auto before = inspector_t(t).validate();
+  ASSERT_TRUE(before.ok) << before.to_string();
+
+  // Absent-key removes traverse every position and bypass empty nodes.
+  for (int round = 0; round < 4; ++round) cleanup_pass(t, 0, 513);
+  auto after = inspector_t(t).validate();
+  ASSERT_TRUE(after.ok) << after.to_string();
+  EXPECT_LT(after.empty_nodes, before.empty_nodes);
+  EXPECT_LT(after.total_nodes, before.total_nodes);
+  EXPECT_GT(t.stats().empty_bypasses, 0u);
+}
+
+TEST(SkipTreeCompaction, CompactionDisabledLeavesStructureDegraded) {
+  skip_tree_options opts;
+  opts.compaction = false;
+  skip_tree<int> t(opts);
+  for (int i = 0; i < 512; ++i) t.add_with_height(i, i % 4 == 0 ? 1 : 0);
+  for (int i = 0; i < 512; ++i) ASSERT_TRUE(t.remove(i));
+  auto before = inspector_t(t).validate();
+  ASSERT_TRUE(before.ok) << before.to_string();
+  for (int round = 0; round < 4; ++round) cleanup_pass(t, 0, 513);
+  auto after = inspector_t(t).validate();
+  ASSERT_TRUE(after.ok) << after.to_string();
+  // clean_link still runs (it is part of remove's traversal semantics), but
+  // clean_node repairs don't, so routing-level structure stays degraded.
+  EXPECT_EQ(t.stats().ref_repairs, 0u);
+  EXPECT_EQ(t.stats().duplicate_drops, 0u);
+  EXPECT_EQ(t.stats().migrations, 0u);
+}
+
+TEST(SkipTreeCompaction, SuboptimalReferencesGetRepaired) {
+  tree_t t;
+  // Two-level tree whose routing entries point at leaf nodes; removing the
+  // leaf content under a routing separator strands the reference.
+  for (int i = 0; i < 1024; ++i) t.add_with_height(i, i % 8 == 0 ? 1 : 0);
+  for (int i = 0; i < 1024; ++i) {
+    if (i % 8 != 0) {
+      ASSERT_TRUE(t.remove(i));
+    }
+  }
+  // Many leaf nodes now hold just the raised key; deleting those too leaves
+  // empties + suboptimal refs at level 1.
+  for (int i = 0; i < 1024; i += 8) ASSERT_TRUE(t.remove(i));
+  auto degraded = inspector_t(t).validate();
+  ASSERT_TRUE(degraded.ok) << degraded.to_string();
+
+  for (int round = 0; round < 6; ++round) cleanup_pass(t, 0, 1025);
+  auto repaired = inspector_t(t).validate();
+  ASSERT_TRUE(repaired.ok) << repaired.to_string();
+  EXPECT_LE(repaired.suboptimal_refs, degraded.suboptimal_refs);
+  EXPECT_LT(repaired.total_nodes, degraded.total_nodes);
+}
+
+TEST(SkipTreeCompaction, MembershipSurvivesAggressiveCompaction) {
+  // Correctness under churn: every key's membership answer stays exact no
+  // matter how much compaction reshapes the routing levels.
+  skip_tree_options opts;
+  opts.q_log2 = 2;  // tall towers -> deep routing structure
+  skip_tree<int> t(opts);
+  xoshiro256ss rng(7);
+  std::vector<bool> present(2000, false);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 500; ++i) {
+      const int k = static_cast<int>(rng.below(2000));
+      if (rng.below(2) == 0) {
+        EXPECT_EQ(t.add(k), !present[k]) << "add " << k;
+        present[k] = true;
+      } else {
+        EXPECT_EQ(t.remove(k), static_cast<bool>(present[k])) << "rm " << k;
+        present[k] = false;
+      }
+    }
+    auto rep = inspector_t(t).validate();
+    ASSERT_TRUE(rep.ok) << "round " << round << ": " << rep.to_string();
+    for (int k = 0; k < 2000; k += 13) {
+      ASSERT_EQ(t.contains(k), static_cast<bool>(present[k])) << k;
+    }
+  }
+}
+
+TEST(SkipTreeCompaction, MigrationEventuallyEmptiesSingletonRoutingNodes) {
+  // Build a routing level of many single-separator nodes, then delete the
+  // separators' subtrees: cleanup passes must migrate/drop the singletons.
+  tree_t t;
+  for (int i = 0; i < 4096; ++i) t.add_with_height(i, i % 2 == 0 ? 1 : 0);
+  for (int i = 0; i < 4096; ++i) ASSERT_TRUE(t.remove(i));
+  for (int round = 0; round < 10; ++round) cleanup_pass(t, 0, 4097);
+  auto rep = inspector_t(t).validate();
+  ASSERT_TRUE(rep.ok) << rep.to_string();
+  const auto s = t.stats();
+  EXPECT_GT(s.migrations + s.duplicate_drops + s.empty_bypasses, 0u);
+  // The tree should have collapsed close to its minimal shape: one node per
+  // level plus whatever stragglers the lazy scheme legitimately leaves.
+  EXPECT_LT(rep.total_nodes, 64u);
+}
+
+TEST(SkipTreeCompaction, CleanupPassesAreIdempotentOnOptimalTree) {
+  tree_t t;
+  for (int i = 0; i < 100; ++i) t.add(i);
+  auto before = inspector_t(t).validate();
+  ASSERT_TRUE(before.ok);
+  cleanup_pass(t, 1000, 1100);  // all absent; nothing to repair
+  auto after = inspector_t(t).validate();
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.total_nodes, before.total_nodes);
+  EXPECT_EQ(t.count_keys(), 100u);
+}
+
+TEST(SkipTreeCompaction, ContainsIsUnaffectedByDegradedStructure) {
+  skip_tree_options opts;
+  opts.compaction = false;  // let degradation accumulate
+  skip_tree<int> t(opts);
+  for (int i = 0; i < 2048; ++i) t.add_with_height(i, i % 4 == 0 ? 2 : 0);
+  for (int i = 0; i < 2048; i += 2) t.remove(i);
+  for (int i = 0; i < 2048; ++i) {
+    ASSERT_EQ(t.contains(i), i % 2 == 1) << i;
+  }
+  auto rep = inspector_t(t).validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+}  // namespace
+}  // namespace lfst::skiptree

@@ -1,0 +1,190 @@
+// Cross-feature integration tests: bulk-loaded trees under concurrent
+// mutation, the map under concurrent churn with validation, the priority
+// queue mixed with ordinary set traffic, and serialization of live trees.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "skiptree/serialize.hpp"
+#include "skiptree/skip_tree.hpp"
+#include "skiptree/skip_tree_map.hpp"
+#include "skiptree/skip_tree_pqueue.hpp"
+#include "skiptree/validate.hpp"
+
+namespace lfst::skiptree {
+namespace {
+
+constexpr int kThreads = 8;
+
+TEST(SkipTreeIntegration, BulkLoadedTreeUnderConcurrentChurn) {
+  // Optimal initial structure + the full concurrent mutation suite: the
+  // bulk loader must produce exactly the states the mutation paths expect.
+  std::vector<long> keys;
+  for (long k = 0; k < 50000; k += 2) keys.push_back(k);  // evens
+  auto t = skip_tree<long>::from_sorted(keys);
+
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      xoshiro256ss rng(thread_seed(1111, static_cast<std::uint64_t>(tid)));
+      for (int i = 0; i < 40000; ++i) {
+        const long k = 1 + 2 * static_cast<long>(rng.below(25000));  // odds
+        if (rng.below(2) == 0) {
+          t.add(k);
+        } else {
+          t.remove(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every even key is untouched; structure still valid.
+  for (long k = 0; k < 50000; k += 4096) ASSERT_TRUE(t.contains(k)) << k;
+  auto rep = skip_tree_inspector<long>(t).validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+TEST(SkipTreeIntegration, MapUnderConcurrentChurnValidates) {
+  skip_tree_map<long, long> m;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      xoshiro256ss rng(thread_seed(2222, static_cast<std::uint64_t>(tid)));
+      for (int i = 0; i < 30000; ++i) {
+        const long k = static_cast<long>(rng.below(2000));
+        switch (rng.below(4)) {
+          case 0: m.insert(k, tid); break;
+          case 1: m.insert_or_assign(k, tid * 100 + 1); break;
+          case 2: m.erase(k); break;
+          default: {
+            long v = 0;
+            m.get(k, v);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  using entry_t = skip_tree_map<long, long>::entry;
+  auto rep =
+      skip_tree_inspector<entry_t, skip_tree_map<long, long>::entry_compare>(
+          m.underlying())
+          .validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+  // Keys in range, values from some writer.
+  m.for_each([&](long k, long v) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 2000);
+    EXPECT_GE(v, 0);
+  });
+}
+
+TEST(SkipTreeIntegration, SaveWhileConcurrentlyMutating) {
+  // Serialization during churn must produce SOME weakly-consistent sorted
+  // unique image that loads into a valid tree.
+  skip_tree<long> t;
+  for (long k = 0; k < 20000; ++k) t.add(k);
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    xoshiro256ss rng(9);
+    while (!stop.load(std::memory_order_acquire)) {
+      const long k = static_cast<long>(rng.below(20000));
+      if (rng.below(2) == 0) {
+        t.remove(k);
+      } else {
+        t.add(k);
+      }
+    }
+  });
+  for (int round = 0; round < 10; ++round) {
+    std::stringstream buf;
+    save(t, buf);
+    auto copy = load<long>(buf);
+    auto rep = skip_tree_inspector<long>(copy).validate();
+    ASSERT_TRUE(rep.ok) << "round " << round << ": " << rep.to_string();
+    long prev = -1;
+    bool sorted = true;
+    copy.for_each([&](long k) {
+      if (k <= prev) sorted = false;
+      prev = k;
+    });
+    ASSERT_TRUE(sorted) << round;
+  }
+  stop.store(true, std::memory_order_release);
+  churn.join();
+}
+
+TEST(SkipTreeIntegration, PQueueAndSetShareReclamationDomain) {
+  // Several structures on the global EBR domain, all churning at once:
+  // exercises cross-structure epoch interaction.
+  skip_tree<long> set;
+  skip_tree_pqueue<long> pq;
+  skip_tree_map<long, long> map;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < 6; ++tid) {
+    threads.emplace_back([&, tid] {
+      xoshiro256ss rng(thread_seed(3333, static_cast<std::uint64_t>(tid)));
+      for (int i = 0; i < 30000; ++i) {
+        const long k = static_cast<long>(rng.below(1000));
+        switch (rng.below(6)) {
+          case 0: set.add(k); break;
+          case 1: set.remove(k); break;
+          case 2: pq.push(k); break;
+          case 3: {
+            long out = 0;
+            pq.try_pop_min(out);
+            break;
+          }
+          case 4: map.insert_or_assign(k, k * 2); break;
+          default: map.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(skip_tree_inspector<long>(set).validate().ok);
+  EXPECT_TRUE(
+      skip_tree_inspector<long>(pq.underlying()).validate().ok);
+}
+
+TEST(SkipTreeIntegration, IterationScopeDuringBulkMutations) {
+  skip_tree<long> t;
+  for (long k = 0; k < 5000; ++k) t.add(k * 2);
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      skip_tree<long>::iteration_scope scope(t);
+      long prev = -1;
+      int evens = 0;
+      for (long k : scope) {
+        if (k <= prev) errors.fetch_add(1);
+        prev = k;
+        if (k % 2 == 0 && k < 10000) ++evens;
+      }
+      if (evens != 5000) errors.fetch_add(1);  // permanent evens missing
+    }
+  });
+  std::thread churn([&] {
+    xoshiro256ss rng(4);
+    for (int i = 0; i < 50000; ++i) {
+      const long k = 1 + 2 * static_cast<long>(rng.below(5000));
+      if (rng.below(2) == 0) {
+        t.add(k);
+      } else {
+        t.remove(k);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  churn.join();
+  reader.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace lfst::skiptree

@@ -1,0 +1,130 @@
+// Tests for weakly-consistent iteration (the operation Figure 10 measures).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "skiptree/skip_tree.hpp"
+
+namespace lfst::skiptree {
+namespace {
+
+using tree_t = skip_tree<long>;
+
+TEST(SkipTreeIteration, EmptyTreeVisitsNothing) {
+  tree_t t;
+  int n = 0;
+  t.for_each([&](long) { ++n; });
+  EXPECT_EQ(n, 0);
+}
+
+TEST(SkipTreeIteration, VisitsExactlyTheMembers) {
+  tree_t t;
+  std::set<long> expected;
+  xoshiro256ss rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const long k = static_cast<long>(rng.below(100000));
+    t.add(k);
+    expected.insert(k);
+  }
+  std::vector<long> visited;
+  t.for_each([&](long k) { visited.push_back(k); });
+  EXPECT_EQ(visited.size(), expected.size());
+  EXPECT_TRUE(std::equal(visited.begin(), visited.end(), expected.begin()));
+}
+
+TEST(SkipTreeIteration, SnapshotKeysNotRemovedDuringScanAreSeen) {
+  // Weak-consistency contract: a key present for the whole duration of the
+  // scan must be reported (matching ConcurrentSkipListSet's guarantee).
+  tree_t t;
+  for (long k = 0; k < 1000; ++k) t.add(k * 2);  // evens stay put
+  std::atomic<bool> stop{false};
+  std::atomic<int> misses{0};
+
+  std::thread iterator_thread([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<long> seen;
+      seen.reserve(1100);
+      t.for_each([&](long k) { seen.push_back(k); });
+      // Every permanent even key must be present.
+      std::size_t idx = 0;
+      int found = 0;
+      for (long k : seen) {
+        (void)idx;
+        if (k % 2 == 0) ++found;
+      }
+      if (found != 1000) misses.fetch_add(1);
+    }
+  });
+  std::thread churn([&] {
+    xoshiro256ss rng(11);
+    for (int i = 0; i < 60000; ++i) {
+      const long k = 2 * static_cast<long>(rng.below(1000)) + 1;  // odds only
+      if (rng.below(2) == 0) {
+        t.add(k);
+      } else {
+        t.remove(k);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  churn.join();
+  iterator_thread.join();
+  EXPECT_EQ(misses.load(), 0);
+}
+
+TEST(SkipTreeIteration, IterationIsStrictlyIncreasingUnderChurn) {
+  tree_t t;
+  for (long k = 0; k < 2000; ++k) t.add(k);
+  std::atomic<bool> stop{false};
+  std::atomic<int> order_violations{0};
+  std::thread it([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      long prev = -1;
+      t.for_each([&](long k) {
+        if (k <= prev) order_violations.fetch_add(1);
+        prev = k;
+      });
+    }
+  });
+  std::thread churn([&] {
+    xoshiro256ss rng(13);
+    for (int i = 0; i < 80000; ++i) {
+      const long k = static_cast<long>(rng.below(2000));
+      if (rng.below(2) == 0) {
+        t.remove(k);
+      } else {
+        t.add(k);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  churn.join();
+  it.join();
+  EXPECT_EQ(order_violations.load(), 0);
+}
+
+TEST(SkipTreeIteration, ForEachWhileShortCircuitUnderConcurrency) {
+  tree_t t;
+  for (long k = 0; k < 10000; ++k) t.add(k);
+  int visited = 0;
+  t.for_each_while([&](long) { return ++visited < 100; });
+  EXPECT_EQ(visited, 100);
+}
+
+TEST(SkipTreeIteration, FullScanThroughputSmoke) {
+  // Sanity check that a full scan touches every element once (the metric
+  // the Figure 10 bench reports as elements/ms).
+  tree_t t;
+  constexpr long kN = 100000;
+  for (long k = 0; k < kN; ++k) t.add(k);
+  std::size_t count = 0;
+  t.for_each([&](long) { ++count; });
+  EXPECT_EQ(count, static_cast<std::size_t>(kN));
+}
+
+}  // namespace
+}  // namespace lfst::skiptree

@@ -1,0 +1,150 @@
+// Tests for the STL-style scoped iterator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <iterator>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "skiptree/skip_tree.hpp"
+
+namespace lfst::skiptree {
+namespace {
+
+using tree_t = skip_tree<long>;
+using scope_t = tree_t::iteration_scope;
+
+static_assert(std::forward_iterator<scope_t::iterator>);
+
+TEST(SkipTreeIterator, EmptyTreeBeginIsEnd) {
+  tree_t t;
+  scope_t scope(t);
+  EXPECT_EQ(scope.begin(), scope.end());
+}
+
+TEST(SkipTreeIterator, RangeForVisitsSortedKeys) {
+  tree_t t;
+  for (long k : {9, 1, 5, 3, 7}) t.add(k);
+  scope_t scope(t);
+  std::vector<long> seen;
+  for (long k : scope) seen.push_back(k);
+  EXPECT_EQ(seen, (std::vector<long>{1, 3, 5, 7, 9}));
+}
+
+TEST(SkipTreeIterator, WorksWithStandardAlgorithms) {
+  tree_t t;
+  for (long k = 1; k <= 100; ++k) t.add(k);
+  scope_t scope(t);
+  EXPECT_EQ(std::distance(scope.begin(), scope.end()), 100);
+  EXPECT_EQ(std::accumulate(scope.begin(), scope.end(), 0L), 5050L);
+  EXPECT_TRUE(std::is_sorted(scope.begin(), scope.end()));
+  auto it = std::find(scope.begin(), scope.end(), 42L);
+  ASSERT_NE(it, scope.end());
+  EXPECT_EQ(*it, 42L);
+}
+
+TEST(SkipTreeIterator, PostIncrementReturnsOldPosition) {
+  tree_t t;
+  t.add(1);
+  t.add(2);
+  scope_t scope(t);
+  auto it = scope.begin();
+  EXPECT_EQ(*it++, 1);
+  EXPECT_EQ(*it, 2);
+}
+
+TEST(SkipTreeIterator, ArrowOperator) {
+  skip_tree<std::pair<long, long>> t;
+  t.add({3, 30});
+  skip_tree<std::pair<long, long>>::iteration_scope scope(t);
+  auto it = scope.begin();
+  EXPECT_EQ(it->first, 3);
+  EXPECT_EQ(it->second, 30);
+}
+
+TEST(SkipTreeIterator, SpansManySplitLeaves) {
+  tree_t t;
+  for (long k = 0; k < 4096; ++k) t.add_with_height(k, k % 8 == 0 ? 1 : 0);
+  scope_t scope(t);
+  long expect = 0;
+  for (long k : scope) EXPECT_EQ(k, expect++);
+  EXPECT_EQ(expect, 4096);
+}
+
+TEST(SkipTreeIterator, StrictlyIncreasingUnderChurn) {
+  tree_t t;
+  for (long k = 0; k < 2000; ++k) t.add(k);
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      scope_t scope(t);
+      long prev = -1;
+      for (long k : scope) {
+        if (k <= prev) violations.fetch_add(1);
+        prev = k;
+      }
+    }
+  });
+  std::thread churn([&] {
+    xoshiro256ss rng(77);
+    for (int i = 0; i < 60000; ++i) {
+      const long k = static_cast<long>(rng.below(2000));
+      if (rng.below(2) == 0) {
+        t.add(k);
+      } else {
+        t.remove(k);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  churn.join();
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(SkipTreeIterator, ScopePinsAgainstReclamation) {
+  // Hold an iterator mid-traversal while a churn storm replaces payloads;
+  // dereferencing afterwards must still be safe (ASan verifies liveness).
+  tree_t t;
+  for (long k = 0; k < 10000; ++k) t.add(k);
+  scope_t scope(t);
+  auto it = scope.begin();
+  for (int i = 0; i < 50; ++i) ++it;
+  const long pinned_key = *it;
+  std::thread churn([&] {
+    for (long k = 0; k < 10000; ++k) {
+      t.remove(k);
+      t.add(k + 20000);
+    }
+  });
+  churn.join();
+  // The payload snapshot the iterator sits on is still alive.
+  EXPECT_EQ(*it, pinned_key);
+  long prev = pinned_key - 1;
+  for (; it != scope.end(); ++it) {
+    EXPECT_GT(*it, prev);
+    prev = *it;
+  }
+}
+
+TEST(SkipTreeIterator, MultipleIteratorsInOneScope) {
+  tree_t t;
+  for (long k = 0; k < 100; ++k) t.add(k);
+  scope_t scope(t);
+  auto a = scope.begin();
+  auto b = scope.begin();
+  ++b;
+  EXPECT_EQ(*a, 0);
+  EXPECT_EQ(*b, 1);
+  EXPECT_NE(a, b);
+  ++a;
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace lfst::skiptree

@@ -1,0 +1,227 @@
+// Tests for the ordered concurrent map layered on the skip-tree, including
+// the underlying get/replace primitives.
+#include "skiptree/skip_tree_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "skiptree/validate.hpp"
+
+namespace lfst::skiptree {
+namespace {
+
+using map_t = skip_tree_map<long, std::string>;
+
+TEST(SkipTreePrimitives, GetReturnsStoredElement) {
+  skip_tree<int> t;
+  t.add(7);
+  int out = 0;
+  EXPECT_TRUE(t.get(7, out));
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(t.get(8, out));
+}
+
+TEST(SkipTreePrimitives, ReplaceSwapsEquivalentElement) {
+  // Comparator on the tens digit: 41 and 45 are order-equivalent.
+  struct tens_less {
+    bool operator()(int a, int b) const { return a / 10 < b / 10; }
+  };
+  skip_tree<int, tens_less> t;
+  EXPECT_TRUE(t.add(41));
+  EXPECT_FALSE(t.add(45));  // equivalent: rejected
+  int out = 0;
+  EXPECT_TRUE(t.get(40, out));
+  EXPECT_EQ(out, 41);
+  EXPECT_TRUE(t.replace(45));
+  EXPECT_TRUE(t.get(40, out));
+  EXPECT_EQ(out, 45);
+  EXPECT_FALSE(t.replace(77));  // absent equivalence class
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SkipTreeMap, EmptyMap) {
+  map_t m;
+  std::string v;
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.get(1, v));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_FALSE(m.contains(1));
+}
+
+TEST(SkipTreeMap, InsertGetEraseRoundTrip) {
+  map_t m;
+  EXPECT_TRUE(m.insert(1, "one"));
+  EXPECT_FALSE(m.insert(1, "uno"));  // duplicate key: value untouched
+  std::string v;
+  ASSERT_TRUE(m.get(1, v));
+  EXPECT_EQ(v, "one");
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.get(1, v));
+}
+
+TEST(SkipTreeMap, AssignOverwritesValue) {
+  map_t m;
+  m.insert(5, "old");
+  EXPECT_TRUE(m.assign(5, "new"));
+  std::string v;
+  ASSERT_TRUE(m.get(5, v));
+  EXPECT_EQ(v, "new");
+  EXPECT_FALSE(m.assign(6, "nope"));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(SkipTreeMap, InsertOrAssignBothPaths) {
+  map_t m;
+  EXPECT_TRUE(m.insert_or_assign(9, "first"));   // inserted
+  EXPECT_FALSE(m.insert_or_assign(9, "second")); // assigned
+  std::string v;
+  ASSERT_TRUE(m.get(9, v));
+  EXPECT_EQ(v, "second");
+}
+
+TEST(SkipTreeMap, MatchesStdMapUnderRandomOps) {
+  map_t m;
+  std::map<long, std::string> oracle;
+  xoshiro256ss rng(2112);
+  for (int i = 0; i < 30000; ++i) {
+    const long k = static_cast<long>(rng.below(300));
+    const std::string val = std::to_string(i);
+    switch (rng.below(4)) {
+      case 0:
+        ASSERT_EQ(m.insert(k, val), oracle.emplace(k, val).second);
+        break;
+      case 1: {
+        const bool inserted = oracle.insert_or_assign(k, val).second;
+        ASSERT_EQ(m.insert_or_assign(k, val), inserted);
+        break;
+      }
+      case 2:
+        ASSERT_EQ(m.erase(k), oracle.erase(k) != 0);
+        break;
+      default: {
+        std::string got;
+        auto it = oracle.find(k);
+        ASSERT_EQ(m.get(k, got), it != oracle.end());
+        if (it != oracle.end()) {
+          ASSERT_EQ(got, it->second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(m.size(), oracle.size());
+  // Iteration agreement, in order.
+  auto it = oracle.begin();
+  bool match = true;
+  m.for_each([&](long k, const std::string& v) {
+    if (it == oracle.end() || it->first != k || it->second != v) match = false;
+    if (it != oracle.end()) ++it;
+  });
+  EXPECT_TRUE(match && it == oracle.end());
+}
+
+TEST(SkipTreeMap, ForRangeAndLowerBound) {
+  map_t m;
+  for (long k = 0; k < 100; k += 10) m.insert(k, "v" + std::to_string(k));
+  std::vector<long> keys;
+  m.for_range(15, 55, [&](long k, const std::string&) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<long>{20, 30, 40, 50}));
+  long k_out = 0;
+  std::string v_out;
+  ASSERT_TRUE(m.lower_bound(41, k_out, v_out));
+  EXPECT_EQ(k_out, 50);
+  EXPECT_EQ(v_out, "v50");
+  EXPECT_FALSE(m.lower_bound(91, k_out, v_out));
+}
+
+TEST(SkipTreeMap, UnderlyingTreeValidates) {
+  map_t m;
+  xoshiro256ss rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    m.insert_or_assign(static_cast<long>(rng.below(2000)),
+                       std::to_string(i));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    m.erase(static_cast<long>(rng.below(2000)));
+  }
+  using entry_t = map_t::entry;
+  auto rep = skip_tree_inspector<entry_t, map_t::entry_compare>(
+                 m.underlying())
+                 .validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+TEST(SkipTreeMap, ConcurrentInsertOrAssignLastWriterWins) {
+  skip_tree_map<long, long> m;
+  constexpr int kThreads = 8;
+  constexpr long kKeys = 500;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      xoshiro256ss rng(thread_seed(777, static_cast<std::uint64_t>(tid)));
+      for (int i = 0; i < 30000; ++i) {
+        const long k = static_cast<long>(rng.below(kKeys));
+        m.insert_or_assign(k, tid * 1000000 + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every key maps to SOME thread's write (values are never torn), and the
+  // map contains at most kKeys keys.
+  EXPECT_LE(m.size(), static_cast<std::size_t>(kKeys));
+  std::size_t found = 0;
+  m.for_each([&](long k, long v) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, kKeys);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 8000000);
+    ++found;
+  });
+  EXPECT_EQ(found, m.size());
+}
+
+TEST(SkipTreeMap, ConcurrentReadersSeeWholeValues) {
+  // Writers assign multi-field values; readers must never observe a torn
+  // value (payload replacement is a single CAS of an immutable block).
+  struct wide {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;  // invariant: b == ~a
+  };
+  skip_tree_map<long, wide> m;
+  for (long k = 0; k < 64; ++k) m.insert(k, wide{0, ~std::uint64_t{0}});
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      xoshiro256ss rng(static_cast<std::uint64_t>(r) + 1);
+      while (!stop.load(std::memory_order_acquire)) {
+        wide w;
+        if (m.get(static_cast<long>(rng.below(64)), w) && w.b != ~w.a) {
+          torn.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    xoshiro256ss rng(99);
+    for (std::uint64_t i = 1; i < 80000; ++i) {
+      m.assign(static_cast<long>(rng.below(64)), wide{i, ~i});
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+}  // namespace
+}  // namespace lfst::skiptree

@@ -1,0 +1,140 @@
+// Tests for the priority-queue adapter.
+#include "skiptree/skip_tree_pqueue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lfst::skiptree {
+namespace {
+
+TEST(SkipTreePQueue, EmptyPopFails) {
+  skip_tree_pqueue<long> q;
+  long out = 0;
+  EXPECT_FALSE(q.try_pop_min(out));
+  EXPECT_FALSE(q.peek_min(out));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SkipTreePQueue, PopsInPriorityOrder) {
+  skip_tree_pqueue<long> q;
+  for (long v : {42, 7, 99, 13, 1}) EXPECT_TRUE(q.push(v));
+  std::vector<long> popped;
+  long out = 0;
+  while (q.try_pop_min(out)) popped.push_back(out);
+  EXPECT_EQ(popped, (std::vector<long>{1, 7, 13, 42, 99}));
+}
+
+TEST(SkipTreePQueue, DuplicatePushRejected) {
+  skip_tree_pqueue<long> q;
+  EXPECT_TRUE(q.push(5));
+  EXPECT_FALSE(q.push(5));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(SkipTreePQueue, PeekDoesNotPop) {
+  skip_tree_pqueue<long> q;
+  q.push(3);
+  long out = 0;
+  ASSERT_TRUE(q.peek_min(out));
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(SkipTreePQueue, TiebreakerComposition) {
+  // The documented trick for duplicate priorities: (priority, sequence).
+  using item = std::pair<int, long>;
+  skip_tree_pqueue<item> q;
+  EXPECT_TRUE(q.push({5, 1}));
+  EXPECT_TRUE(q.push({5, 2}));  // same priority, different sequence
+  EXPECT_TRUE(q.push({1, 3}));
+  item out;
+  ASSERT_TRUE(q.try_pop_min(out));
+  EXPECT_EQ(out, (item{1, 3}));
+  ASSERT_TRUE(q.try_pop_min(out));
+  EXPECT_EQ(out, (item{5, 1}));
+  ASSERT_TRUE(q.try_pop_min(out));
+  EXPECT_EQ(out, (item{5, 2}));
+}
+
+TEST(SkipTreePQueue, ConcurrentPoppersPartitionTheQueue) {
+  // N threads drain a pre-filled queue; every element must be popped
+  // exactly once, across all threads.
+  skip_tree_pqueue<long> q;
+  constexpr long kN = 40000;
+  for (long v = 0; v < kN; ++v) ASSERT_TRUE(q.push(v));
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<long>> popped(kThreads);
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      long out = 0;
+      while (q.try_pop_min(out)) popped[tid].push_back(out);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<long> all;
+  for (auto& p : popped) {
+    // Each thread's sequence must be increasing (pop-min never goes back).
+    EXPECT_TRUE(std::is_sorted(p.begin(), p.end()));
+    all.insert(all.end(), p.begin(), p.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kN));
+  for (long v = 0; v < kN; ++v) ASSERT_EQ(all[static_cast<std::size_t>(v)], v);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SkipTreePQueue, ProducersAndConsumersConcurrently) {
+  skip_tree_pqueue<long> q;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr long kPerProducer = 10000;
+  std::atomic<long> consumed{0};
+  std::atomic<bool> done_producing{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (long i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<std::vector<long>> sunk(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      long out = 0;
+      for (;;) {
+        if (q.try_pop_min(out)) {
+          sunk[c].push_back(out);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        } else if (done_producing.load(std::memory_order_acquire)) {
+          if (!q.try_pop_min(out)) break;
+          sunk[c].push_back(out);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  done_producing.store(true, std::memory_order_release);
+  for (std::size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  std::vector<long> all;
+  for (auto& s : sunk) all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end())
+      << "an element was popped twice";
+}
+
+}  // namespace
+}  // namespace lfst::skiptree

@@ -1,0 +1,110 @@
+// Parameterized property tests: for every combination of tree parameter q,
+// key range, and operation mix, a randomized operation sequence must leave
+// the tree (a) agreeing with a std::set oracle and (b) structurally valid.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "skiptree/skip_tree.hpp"
+#include "skiptree/validate.hpp"
+
+namespace lfst::skiptree {
+namespace {
+
+struct property_params {
+  int q_log2;
+  long key_range;
+  int add_pct;     // remainder split between remove and contains
+  int remove_pct;
+  int ops;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<property_params>& info) {
+  const auto& p = info.param;
+  return "q2e" + std::to_string(p.q_log2) + "_range" +
+         std::to_string(p.key_range) + "_add" + std::to_string(p.add_pct) +
+         "_rm" + std::to_string(p.remove_pct) + "_seed" +
+         std::to_string(p.seed);
+}
+
+class SkipTreeProperty : public ::testing::TestWithParam<property_params> {};
+
+TEST_P(SkipTreeProperty, RandomOpsAgreeWithOracleAndValidate) {
+  const property_params p = GetParam();
+  skip_tree_options opts;
+  opts.q_log2 = p.q_log2;
+  skip_tree<long> tree(opts);
+  std::set<long> oracle;
+  xoshiro256ss rng(p.seed);
+
+  for (int i = 0; i < p.ops; ++i) {
+    const long k = static_cast<long>(rng.below(p.key_range));
+    const int dice = static_cast<int>(rng.below(100));
+    if (dice < p.add_pct) {
+      ASSERT_EQ(tree.add(k), oracle.insert(k).second) << "op " << i;
+    } else if (dice < p.add_pct + p.remove_pct) {
+      ASSERT_EQ(tree.remove(k), oracle.erase(k) != 0) << "op " << i;
+    } else {
+      ASSERT_EQ(tree.contains(k), oracle.count(k) != 0) << "op " << i;
+    }
+  }
+
+  EXPECT_EQ(tree.size(), oracle.size());
+  EXPECT_EQ(tree.count_keys(), oracle.size());
+  // for_each must reproduce the oracle exactly.
+  auto it = oracle.begin();
+  bool match = true;
+  tree.for_each([&](long k) {
+    if (it == oracle.end() || *it != k) match = false;
+    if (it != oracle.end()) ++it;
+  });
+  EXPECT_TRUE(match && it == oracle.end());
+
+  auto rep = skip_tree_inspector<long>(tree).validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterSweep, SkipTreeProperty,
+    ::testing::Values(
+        // q sweep at a moderate range, balanced mix.
+        property_params{1, 1000, 33, 33, 30000, 101},
+        property_params{2, 1000, 33, 33, 30000, 102},
+        property_params{3, 1000, 33, 33, 30000, 103},
+        property_params{5, 1000, 33, 33, 30000, 104},  // paper's q = 1/32
+        property_params{7, 1000, 33, 33, 30000, 105},
+        // Key-range sweep (the paper's three working-set regimes scaled
+        // down): tiny/contended, medium, sparse.
+        property_params{5, 16, 33, 33, 30000, 201},
+        property_params{5, 500, 33, 33, 30000, 202},
+        property_params{5, 200000, 33, 33, 60000, 203},
+        property_params{5, 1L << 40, 40, 10, 60000, 204},
+        // Mix sweep: read-dominated (paper 90/9/1), write-heavy, remove-only
+        // pressure, add-only growth.
+        property_params{5, 2000, 9, 1, 50000, 301},
+        property_params{5, 2000, 45, 45, 50000, 302},
+        property_params{5, 2000, 10, 60, 50000, 303},
+        property_params{5, 2000, 90, 0, 50000, 304},
+        // Aggressive towers with tiny nodes: deep structure, many levels.
+        property_params{1, 300, 33, 33, 40000, 401},
+        property_params{1, 1L << 30, 50, 25, 40000, 402},
+        // Degenerate extremes: one-key domain (pure add/remove/contains
+        // collisions), two keys, and a domain of exactly node-width size.
+        property_params{5, 1, 33, 33, 20000, 501},
+        property_params{5, 2, 33, 33, 20000, 502},
+        property_params{5, 32, 33, 33, 30000, 503},
+        // Remove-only pressure after a build-up phase (add-heavy start).
+        property_params{4, 5000, 70, 5, 30000, 504},
+        property_params{4, 5000, 5, 70, 30000, 505},
+        // Additional seeds at the paper's parameter point for soak.
+        property_params{5, 200000, 33, 33, 60000, 601},
+        property_params{5, 200000, 9, 1, 60000, 602},
+        property_params{5, 200000, 9, 1, 60000, 603}),
+    param_name);
+
+}  // namespace
+}  // namespace lfst::skiptree

@@ -1,0 +1,174 @@
+// White-box structural tests: deterministic element heights via
+// add_with_height exercise splitting, root raising, and the invariants
+// (D1)-(D4) of Definition 1 directly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "skiptree/skip_tree.hpp"
+#include "skiptree/validate.hpp"
+
+namespace lfst::skiptree {
+namespace {
+
+using tree_t = skip_tree<int>;
+using inspector_t = skip_tree_inspector<int>;
+
+TEST(SkipTreeStructure, FreshTreeIsSingleInfLeaf) {
+  tree_t t;
+  inspector_t insp(t);
+  auto rep = insp.validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+  EXPECT_EQ(rep.total_nodes, 1u);
+  EXPECT_EQ(t.height(), 0);
+  EXPECT_TRUE(insp.level_keys(0).empty());
+}
+
+TEST(SkipTreeStructure, HeightZeroInsertsStayInLeaf) {
+  tree_t t;
+  for (int k : {5, 1, 3}) ASSERT_TRUE(t.add_with_height(k, 0));
+  EXPECT_EQ(t.height(), 0);
+  inspector_t insp(t);
+  EXPECT_EQ(insp.level_keys(0), (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(insp.level_width(0), 1u);  // no splits happened
+  EXPECT_TRUE(insp.validate().ok);
+}
+
+TEST(SkipTreeStructure, HeightOneInsertRaisesRootAndSplits) {
+  tree_t t;
+  t.add_with_height(10, 0);
+  t.add_with_height(30, 0);
+  ASSERT_TRUE(t.add_with_height(20, 1));
+  EXPECT_EQ(t.height(), 1);
+  inspector_t insp(t);
+  // Leaf split at 20: [10, 20 | 30, +inf]; level 1 holds the copy of 20.
+  EXPECT_EQ(insp.level_keys(0), (std::vector<int>{10, 20, 30}));
+  EXPECT_EQ(insp.level_keys(1), (std::vector<int>{20}));
+  EXPECT_EQ(insp.level_width(0), 2u);
+  auto rep = insp.validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+  EXPECT_EQ(t.stats().splits, 1u);
+  EXPECT_EQ(t.stats().root_raises, 1u);
+}
+
+TEST(SkipTreeStructure, TallElementAppearsAtEveryLevelUpToItsHeight) {
+  tree_t t;
+  for (int k = 0; k < 10; ++k) t.add_with_height(k, 0);
+  ASSERT_TRUE(t.add_with_height(100, 3));
+  EXPECT_EQ(t.height(), 3);
+  inspector_t insp(t);
+  for (int lvl = 0; lvl <= 3; ++lvl) {
+    auto keys = insp.level_keys(lvl);
+    EXPECT_TRUE(std::find(keys.begin(), keys.end(), 100) != keys.end())
+        << "copy of the element missing at level " << lvl;
+  }
+  EXPECT_TRUE(insp.validate().ok);
+}
+
+TEST(SkipTreeStructure, RootHeightNeverDecreases) {
+  tree_t t;
+  t.add_with_height(1, 4);
+  EXPECT_EQ(t.height(), 4);
+  for (int i = 2; i < 100; ++i) t.add_with_height(i, 0);
+  t.remove(1);
+  EXPECT_EQ(t.height(), 4);  // levels are never torn down
+  EXPECT_TRUE(skip_tree_inspector<int>(t).validate().ok);
+}
+
+TEST(SkipTreeStructure, SplitsProduceBoundedNodesUnderAscendingRaises) {
+  tree_t t;
+  // Every 8th element raised one level: leaf nodes are split at each raise,
+  // so leaf width tracks the number of raised elements.
+  for (int i = 0; i < 256; ++i) {
+    t.add_with_height(i, i % 8 == 0 ? 1 : 0);
+  }
+  inspector_t insp(t);
+  auto rep = insp.validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+  EXPECT_EQ(rep.nodes_per_level[0], 33u);  // 32 splits + initial node
+  EXPECT_EQ(insp.level_keys(1).size(), 32u);
+}
+
+TEST(SkipTreeStructure, PaperFigure2InsertIntoEmptyTree) {
+  // Figure 2a: inserting one element of height 2 into the empty tree.
+  tree_t t;
+  ASSERT_TRUE(t.add_with_height(1, 2));
+  inspector_t insp(t);
+  EXPECT_EQ(t.height(), 2);
+  for (int lvl = 0; lvl <= 2; ++lvl) {
+    EXPECT_EQ(insp.level_keys(lvl), (std::vector<int>{1})) << "level " << lvl;
+  }
+  auto rep = insp.validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+TEST(SkipTreeStructure, PaperFigure2DeleteThenReinsert) {
+  // Figure 2b: elements {1,2,3} deleted then {2,3} reinserted -- routing
+  // levels may retain stale copies/empty nodes but the reachable structure
+  // stays valid and the leaf level is exact.
+  tree_t t;
+  t.add_with_height(1, 2);
+  t.add_with_height(2, 1);
+  t.add_with_height(3, 0);
+  ASSERT_TRUE(t.remove(1));
+  ASSERT_TRUE(t.remove(2));
+  ASSERT_TRUE(t.remove(3));
+  inspector_t insp(t);
+  EXPECT_TRUE(insp.level_keys(0).empty());
+  ASSERT_TRUE(t.add(2));
+  ASSERT_TRUE(t.add(3));
+  EXPECT_EQ(insp.level_keys(0), (std::vector<int>{2, 3}));
+  EXPECT_TRUE(t.contains(2));
+  EXPECT_TRUE(t.contains(3));
+  EXPECT_FALSE(t.contains(1));
+  auto rep = insp.validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+TEST(SkipTreeStructure, RemoveLeavesRoutingCopiesButLeafIsTruth) {
+  tree_t t;
+  t.add_with_height(50, 2);
+  for (int i = 0; i < 20; ++i) t.add_with_height(i, 0);
+  ASSERT_TRUE(t.remove(50));
+  EXPECT_FALSE(t.contains(50));
+  inspector_t insp(t);
+  auto leaf = insp.level_keys(0);
+  EXPECT_TRUE(std::find(leaf.begin(), leaf.end(), 50) == leaf.end());
+  // Membership is leaf-only: stale routing copies are allowed (Sec. III).
+  auto rep = insp.validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+TEST(SkipTreeStructure, ValidateDetectsLargeRandomTree) {
+  skip_tree_options opts;
+  opts.q_log2 = 2;  // wide towers -> many levels to cross-check
+  skip_tree<int> t(opts);
+  xoshiro256ss rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    t.add(static_cast<int>(rng.below(1 << 30)));
+  }
+  auto rep = skip_tree_inspector<int>(t).validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+  EXPECT_GT(t.height(), 3);
+}
+
+TEST(SkipTreeStructure, MaxHeightCapsTowerGrowth) {
+  skip_tree_options opts;
+  opts.q_log2 = 1;
+  opts.max_height = 2;
+  skip_tree<int> t(opts);
+  for (int i = 0; i < 5000; ++i) t.add(i);
+  EXPECT_LE(t.height(), 2);
+  EXPECT_TRUE(skip_tree_inspector<int>(t).validate().ok);
+}
+
+TEST(SkipTreeStructure, StatsCountersAreConsistent) {
+  tree_t t;
+  for (int i = 0; i < 64; ++i) t.add_with_height(i, 1);
+  const auto s = t.stats();
+  EXPECT_EQ(s.splits, 64u);
+  EXPECT_EQ(s.root_raises, 1u);
+}
+
+}  // namespace
+}  // namespace lfst::skiptree

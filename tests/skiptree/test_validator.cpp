@@ -1,0 +1,155 @@
+// Negative tests for the structural validator: hand-built trees with
+// deliberate violations of Definition 1 must be flagged.  (The positive
+// cases -- real trees validating -- are covered throughout the other test
+// files; a validator that cannot FAIL proves nothing.)
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "skiptree/validate.hpp"
+
+namespace lfst::skiptree {
+namespace {
+
+using C = contents<int>;
+using N = tree_node<int>;
+using inspector = skip_tree_inspector<int>;
+
+/// Owns hand-built nodes/payloads for a test case.
+struct builder {
+  std::vector<N*> nodes;
+
+  N* node(C* c) {
+    N* n = new N;
+    n->payload.store(c, std::memory_order_relaxed);
+    nodes.push_back(n);
+    return n;
+  }
+
+  ~builder() {
+    for (N* n : nodes) {
+      C::destroy(n->payload.load(std::memory_order_relaxed));
+      delete n;
+    }
+  }
+};
+
+TEST(ValidatorNegative, AcceptsMinimalValidTree) {
+  builder b;
+  N* leaf = b.node(C::make_initial_leaf());
+  auto rep = inspector::validate_raw(leaf, 0);
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+  EXPECT_EQ(rep.total_nodes, 1u);
+}
+
+TEST(ValidatorNegative, AcceptsTwoLevelValidTree) {
+  builder b;
+  const int right_keys[] = {30};
+  N* right = b.node(C::make_leaf(right_keys, /*inf=*/true, nullptr));
+  const int left_keys[] = {10, 20};
+  N* left = b.node(C::make_leaf(left_keys, /*inf=*/false, right));
+  const int root_keys[] = {20};
+  N* children[] = {left, right};
+  N* root = b.node(C::make_routing(root_keys, children, /*inf=*/true, nullptr));
+  auto rep = inspector::validate_raw(root, 1);
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+TEST(ValidatorNegative, FlagsDecreasingKeysInLevel) {
+  builder b;
+  const int ks[] = {30, 10};  // decreasing: violates Theorem 1
+  N* leaf = b.node(C::make_leaf(ks, true, nullptr));
+  auto rep = inspector::validate_raw(leaf, 0);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(ValidatorNegative, FlagsDuplicateLeafKeys) {
+  builder b;
+  const int ks[] = {7, 7};  // duplicate at the leaf: violates D2
+  N* leaf = b.node(C::make_leaf(ks, true, nullptr));
+  auto rep = inspector::validate_raw(leaf, 0);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(ValidatorNegative, FlagsMissingInfinity) {
+  builder b;
+  const int ks[] = {1, 2};
+  N* leaf = b.node(C::make_leaf(ks, /*inf=*/false, nullptr));  // no +inf: D1
+  auto rep = inspector::validate_raw(leaf, 0);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(ValidatorNegative, FlagsDoubleInfinity) {
+  builder b;
+  const int rk[] = {9};
+  N* last = b.node(C::make_leaf(rk, /*inf=*/true, nullptr));
+  const int lk[] = {1};
+  N* first = b.node(C::make_leaf(lk, /*inf=*/true, last));  // inner +inf: D1
+  auto rep = inspector::validate_raw(first, 0);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(ValidatorNegative, FlagsNullLinkOnInteriorNode) {
+  builder b;
+  const int rk[] = {9};
+  N* last = b.node(C::make_leaf(rk, true, nullptr));
+  const int lk[] = {1};
+  // Interior node with a null link: the chain ends before the +inf node,
+  // which shows up as a missing +inf on the walked level.
+  N* first = b.node(C::make_leaf(lk, false, nullptr));
+  (void)last;
+  auto rep = inspector::validate_raw(first, 0);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(ValidatorNegative, FlagsChildReferenceOvershoot) {
+  // Level 0: [10, 20 | 30, +inf].  Root keys [10, 25, +inf]: the slot for
+  // (10, 25] must reach key 20, which lives in the LEFT leaf; pointing it
+  // at the right leaf skips key 20 -- "target in tail(source)" (D4) is
+  // violated.  (Slot 0 cannot overshoot by construction: it defines where
+  // the validator's level walk starts.)
+  builder b;
+  const int right_keys[] = {30};
+  N* right = b.node(C::make_leaf(right_keys, true, nullptr));
+  const int left_keys[] = {10, 20};
+  N* left = b.node(C::make_leaf(left_keys, false, right));
+  const int root_keys[] = {10, 25};
+  N* bad_children[] = {left, right, right};  // slot 1 overshoots
+  N* root = b.node(C::make_routing(root_keys, bad_children, true, nullptr));
+  auto rep = inspector::validate_raw(root, 1);
+  EXPECT_FALSE(rep.ok) << rep.to_string();
+}
+
+TEST(ValidatorNegative, CensusCountsEmptyAndSuboptimal) {
+  // Valid but degraded tree: an empty leaf node and a suboptimal reference.
+  builder b;
+  const int rk[] = {30};
+  N* last = b.node(C::make_leaf(rk, true, nullptr));
+  N* empty = b.node(C::make_leaf({}, false, last));
+  const int lk[] = {10};
+  N* first = b.node(C::make_leaf(lk, false, empty));
+  // Root: keys [10, +inf]; slot 0 covers (-inf,10] -> first; slot 1 covers
+  // (10, +inf] -> first is suboptimal (max(first)=10 < ... not less).
+  // Point slot 1 at `first` whose max 10 < lower bound 10? Need strict <:
+  // use root key 20 so slot 1's bound is 20 and target max is 10.
+  const int root_keys[] = {20};
+  N* children[] = {first, first};
+  N* root = b.node(C::make_routing(root_keys, children, true, nullptr));
+  auto rep = inspector::validate_raw(root, 1);
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+  EXPECT_EQ(rep.empty_nodes, 1u);
+  EXPECT_GE(rep.suboptimal_refs, 1u);
+}
+
+TEST(ValidatorNegative, ReportToStringMentionsErrors) {
+  builder b;
+  const int ks[] = {5, 5};
+  N* leaf = b.node(C::make_leaf(ks, true, nullptr));
+  auto rep = inspector::validate_raw(leaf, 0);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.to_string().find("INVALID"), std::string::npos);
+  EXPECT_NE(rep.to_string().find("error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lfst::skiptree
