@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reclaim.dir/ablation_reclaim.cpp.o"
+  "CMakeFiles/ablation_reclaim.dir/ablation_reclaim.cpp.o.d"
+  "ablation_reclaim"
+  "ablation_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

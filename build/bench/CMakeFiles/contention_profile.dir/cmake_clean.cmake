@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_profile.dir/contention_profile.cpp.o"
+  "CMakeFiles/contention_profile.dir/contention_profile.cpp.o.d"
+  "contention_profile"
+  "contention_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_iteration.dir/fig10_iteration.cpp.o"
+  "CMakeFiles/fig10_iteration.dir/fig10_iteration.cpp.o.d"
+  "fig10_iteration"
+  "fig10_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

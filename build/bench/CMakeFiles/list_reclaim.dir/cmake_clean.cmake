@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_reclaim.dir/list_reclaim.cpp.o"
+  "CMakeFiles/list_reclaim.dir/list_reclaim.cpp.o.d"
+  "list_reclaim"
+  "list_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

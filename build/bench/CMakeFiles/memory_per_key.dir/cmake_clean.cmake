@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_per_key.dir/memory_per_key.cpp.o"
+  "CMakeFiles/memory_per_key.dir/memory_per_key.cpp.o.d"
+  "memory_per_key"
+  "memory_per_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_per_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_width.dir/node_width.cpp.o"
+  "CMakeFiles/node_width.dir/node_width.cpp.o.d"
+  "node_width"
+  "node_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_m.dir/param_m.cpp.o"
+  "CMakeFiles/param_m.dir/param_m.cpp.o.d"
+  "param_m"
+  "param_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

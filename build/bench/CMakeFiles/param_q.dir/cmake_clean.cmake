@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_q.dir/param_q.cpp.o"
+  "CMakeFiles/param_q.dir/param_q.cpp.o.d"
+  "param_q"
+  "param_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_cache.dir/session_cache.cpp.o"
+  "CMakeFiles/session_cache.dir/session_cache.cpp.o.d"
+  "session_cache"
+  "session_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

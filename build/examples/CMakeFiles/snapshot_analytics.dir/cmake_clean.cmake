@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_analytics.dir/snapshot_analytics.cpp.o"
+  "CMakeFiles/snapshot_analytics.dir/snapshot_analytics.cpp.o.d"
+  "snapshot_analytics"
+  "snapshot_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

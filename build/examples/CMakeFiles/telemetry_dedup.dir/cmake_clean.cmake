@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_dedup.dir/telemetry_dedup.cpp.o"
+  "CMakeFiles/telemetry_dedup.dir/telemetry_dedup.cpp.o.d"
+  "telemetry_dedup"
+  "telemetry_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

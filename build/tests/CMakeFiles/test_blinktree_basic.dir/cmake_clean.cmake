@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blinktree_basic.dir/blinktree/test_basic.cpp.o"
+  "CMakeFiles/test_blinktree_basic.dir/blinktree/test_basic.cpp.o.d"
+  "test_blinktree_basic"
+  "test_blinktree_basic.pdb"
+  "test_blinktree_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blinktree_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

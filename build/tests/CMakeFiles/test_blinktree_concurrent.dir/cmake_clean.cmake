@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blinktree_concurrent.dir/blinktree/test_concurrent.cpp.o"
+  "CMakeFiles/test_blinktree_concurrent.dir/blinktree/test_concurrent.cpp.o.d"
+  "test_blinktree_concurrent"
+  "test_blinktree_concurrent.pdb"
+  "test_blinktree_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blinktree_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

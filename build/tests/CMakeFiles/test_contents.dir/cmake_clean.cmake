@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contents.dir/skiptree/test_contents.cpp.o"
+  "CMakeFiles/test_contents.dir/skiptree/test_contents.cpp.o.d"
+  "test_contents"
+  "test_contents.pdb"
+  "test_contents[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_differential_fuzz.dir/conformance/test_differential_fuzz.cpp.o"
+  "CMakeFiles/test_differential_fuzz.dir/conformance/test_differential_fuzz.cpp.o.d"
+  "test_differential_fuzz"
+  "test_differential_fuzz.pdb"
+  "test_differential_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_differential_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

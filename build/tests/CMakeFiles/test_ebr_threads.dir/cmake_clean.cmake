@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebr_threads.dir/reclaim/test_ebr_threads.cpp.o"
+  "CMakeFiles/test_ebr_threads.dir/reclaim/test_ebr_threads.cpp.o.d"
+  "test_ebr_threads"
+  "test_ebr_threads.pdb"
+  "test_ebr_threads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebr_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harris_list.dir/list/test_harris_list.cpp.o"
+  "CMakeFiles/test_harris_list.dir/list/test_harris_list.cpp.o.d"
+  "test_harris_list"
+  "test_harris_list.pdb"
+  "test_harris_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harris_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

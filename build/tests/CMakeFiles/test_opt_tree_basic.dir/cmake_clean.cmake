@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_tree_basic.dir/avltree/test_opt_basic.cpp.o"
+  "CMakeFiles/test_opt_tree_basic.dir/avltree/test_opt_basic.cpp.o.d"
+  "test_opt_tree_basic"
+  "test_opt_tree_basic.pdb"
+  "test_opt_tree_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_tree_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_tree_concurrent.dir/avltree/test_opt_concurrent.cpp.o"
+  "CMakeFiles/test_opt_tree_concurrent.dir/avltree/test_opt_concurrent.cpp.o.d"
+  "test_opt_tree_concurrent"
+  "test_opt_tree_concurrent.pdb"
+  "test_opt_tree_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_tree_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ordered_queries_conformance.dir/conformance/test_ordered_queries_conformance.cpp.o"
+  "CMakeFiles/test_ordered_queries_conformance.dir/conformance/test_ordered_queries_conformance.cpp.o.d"
+  "test_ordered_queries_conformance"
+  "test_ordered_queries_conformance.pdb"
+  "test_ordered_queries_conformance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ordered_queries_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

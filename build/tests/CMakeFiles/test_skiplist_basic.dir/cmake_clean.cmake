@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiplist_basic.dir/skiplist/test_basic.cpp.o"
+  "CMakeFiles/test_skiplist_basic.dir/skiplist/test_basic.cpp.o.d"
+  "test_skiplist_basic"
+  "test_skiplist_basic.pdb"
+  "test_skiplist_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiplist_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

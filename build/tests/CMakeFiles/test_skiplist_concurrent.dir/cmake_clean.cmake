@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiplist_concurrent.dir/skiplist/test_concurrent.cpp.o"
+  "CMakeFiles/test_skiplist_concurrent.dir/skiplist/test_concurrent.cpp.o.d"
+  "test_skiplist_concurrent"
+  "test_skiplist_concurrent.pdb"
+  "test_skiplist_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiplist_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

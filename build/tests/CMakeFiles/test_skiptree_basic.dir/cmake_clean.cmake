@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiptree_basic.dir/skiptree/test_basic.cpp.o"
+  "CMakeFiles/test_skiptree_basic.dir/skiptree/test_basic.cpp.o.d"
+  "test_skiptree_basic"
+  "test_skiptree_basic.pdb"
+  "test_skiptree_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiptree_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

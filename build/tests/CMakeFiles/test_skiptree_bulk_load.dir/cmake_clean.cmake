@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiptree_bulk_load.dir/skiptree/test_bulk_load.cpp.o"
+  "CMakeFiles/test_skiptree_bulk_load.dir/skiptree/test_bulk_load.cpp.o.d"
+  "test_skiptree_bulk_load"
+  "test_skiptree_bulk_load.pdb"
+  "test_skiptree_bulk_load[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiptree_bulk_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiptree_compaction.dir/skiptree/test_compaction.cpp.o"
+  "CMakeFiles/test_skiptree_compaction.dir/skiptree/test_compaction.cpp.o.d"
+  "test_skiptree_compaction"
+  "test_skiptree_compaction.pdb"
+  "test_skiptree_compaction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiptree_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiptree_concurrent.dir/skiptree/test_concurrent.cpp.o"
+  "CMakeFiles/test_skiptree_concurrent.dir/skiptree/test_concurrent.cpp.o.d"
+  "test_skiptree_concurrent"
+  "test_skiptree_concurrent.pdb"
+  "test_skiptree_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiptree_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

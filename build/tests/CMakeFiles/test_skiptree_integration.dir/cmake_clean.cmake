@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiptree_integration.dir/skiptree/test_integration.cpp.o"
+  "CMakeFiles/test_skiptree_integration.dir/skiptree/test_integration.cpp.o.d"
+  "test_skiptree_integration"
+  "test_skiptree_integration.pdb"
+  "test_skiptree_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiptree_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiptree_iterator.dir/skiptree/test_iterator.cpp.o"
+  "CMakeFiles/test_skiptree_iterator.dir/skiptree/test_iterator.cpp.o.d"
+  "test_skiptree_iterator"
+  "test_skiptree_iterator.pdb"
+  "test_skiptree_iterator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiptree_iterator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

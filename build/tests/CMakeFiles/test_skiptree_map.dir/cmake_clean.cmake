@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiptree_map.dir/skiptree/test_map.cpp.o"
+  "CMakeFiles/test_skiptree_map.dir/skiptree/test_map.cpp.o.d"
+  "test_skiptree_map"
+  "test_skiptree_map.pdb"
+  "test_skiptree_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiptree_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiptree_ordered_queries.dir/skiptree/test_ordered_queries.cpp.o"
+  "CMakeFiles/test_skiptree_ordered_queries.dir/skiptree/test_ordered_queries.cpp.o.d"
+  "test_skiptree_ordered_queries"
+  "test_skiptree_ordered_queries.pdb"
+  "test_skiptree_ordered_queries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiptree_ordered_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

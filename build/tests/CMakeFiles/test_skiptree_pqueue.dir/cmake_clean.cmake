@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiptree_pqueue.dir/skiptree/test_pqueue.cpp.o"
+  "CMakeFiles/test_skiptree_pqueue.dir/skiptree/test_pqueue.cpp.o.d"
+  "test_skiptree_pqueue"
+  "test_skiptree_pqueue.pdb"
+  "test_skiptree_pqueue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiptree_pqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

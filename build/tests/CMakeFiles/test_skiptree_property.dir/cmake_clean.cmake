@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiptree_property.dir/skiptree/test_property.cpp.o"
+  "CMakeFiles/test_skiptree_property.dir/skiptree/test_property.cpp.o.d"
+  "test_skiptree_property"
+  "test_skiptree_property.pdb"
+  "test_skiptree_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiptree_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiptree_structure.dir/skiptree/test_structure.cpp.o"
+  "CMakeFiles/test_skiptree_structure.dir/skiptree/test_structure.cpp.o.d"
+  "test_skiptree_structure"
+  "test_skiptree_structure.pdb"
+  "test_skiptree_structure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiptree_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiptree_validator.dir/skiptree/test_validator.cpp.o"
+  "CMakeFiles/test_skiptree_validator.dir/skiptree/test_validator.cpp.o.d"
+  "test_skiptree_validator"
+  "test_skiptree_validator.pdb"
+  "test_skiptree_validator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiptree_validator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snap_tree.dir/avltree/test_snap.cpp.o"
+  "CMakeFiles/test_snap_tree.dir/avltree/test_snap.cpp.o.d"
+  "test_snap_tree"
+  "test_snap_tree.pdb"
+  "test_snap_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snap_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spin_rw_lock.dir/common/test_spin_rw_lock.cpp.o"
+  "CMakeFiles/test_spin_rw_lock.dir/common/test_spin_rw_lock.cpp.o.d"
+  "test_spin_rw_lock"
+  "test_spin_rw_lock.pdb"
+  "test_spin_rw_lock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spin_rw_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
