@@ -34,6 +34,7 @@
 #include <mutex>
 #include <vector>
 
+#include "alloc/pool.hpp"
 #include "common/align.hpp"
 #include "common/backoff.hpp"
 #include "common/spin_rw_lock.hpp"
@@ -44,10 +45,12 @@ struct blink_tree_options {
   std::size_t min_node_size = 128;  ///< the paper's M; max node size is 2M
 };
 
-template <typename T, typename Compare = std::less<T>>
+template <typename T, typename Compare = std::less<T>,
+          typename Alloc = lfst::alloc::pool_policy>
 class blink_tree {
  public:
   using key_type = T;
+  using alloc_t = Alloc;
 
   blink_tree() : blink_tree(blink_tree_options{}) {}
 
@@ -66,7 +69,8 @@ class blink_tree {
     node* n = arena_.load(std::memory_order_acquire);
     while (n != nullptr) {
       node* next = n->arena_next;
-      delete n;
+      n->~node();
+      Alloc::deallocate(static_cast<void*>(n), sizeof(node), alignof(node));
       n = next;
     }
   }
@@ -258,8 +262,11 @@ class blink_tree {
     return !cmp_(a, b) && !cmp_(b, a);
   }
 
+  /// Node headers come from the Alloc policy; the key/child vectors stay on
+  /// the std allocator (they resize in place under the node's write lock).
   node* new_node(bool leaf, int level) {
-    node* n = new node(leaf, level);
+    void* raw = Alloc::allocate(sizeof(node), alignof(node));
+    node* n = new (raw) node(leaf, level);
     n->keys.reserve(2 * opts_.min_node_size + 1);
     if (!leaf) n->children.reserve(2 * opts_.min_node_size + 2);
     n->arena_next = arena_.load(std::memory_order_relaxed);

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "alloc/pool.hpp"
 #include "common/align.hpp"
 #include "common/backoff.hpp"
 #include "reclaim/ebr.hpp"
@@ -47,6 +48,19 @@ struct list_node {
 
   explicit list_node(const T& k) : key(k) {}
 
+  template <typename Alloc = lfst::alloc::new_delete_policy>
+  static list_node* create(const T& k) {
+    void* raw = Alloc::allocate(sizeof(list_node), alignof(list_node));
+    return new (raw) list_node(k);
+  }
+
+  template <typename Alloc = lfst::alloc::new_delete_policy>
+  static void destroy(list_node* n) noexcept {
+    n->~list_node();
+    Alloc::deallocate(static_cast<void*>(n), sizeof(list_node),
+                      alignof(list_node));
+  }
+
   static list_node* ptr(std::uintptr_t w) noexcept {
     return reinterpret_cast<list_node*>(w & ~std::uintptr_t{1});
   }
@@ -56,11 +70,13 @@ struct list_node {
   }
   static std::uintptr_t mark(std::uintptr_t w) noexcept { return w | 1; }
 
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static void destroy_erased(void* p) noexcept {
-    delete static_cast<list_node*>(p);
+    destroy<Alloc>(static_cast<list_node*>(p));
   }
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   reclaim::retired_block as_retired() noexcept {
-    return reclaim::retired_block{this, &list_node::destroy_erased};
+    return reclaim::retired_block{this, &list_node::destroy_erased<Alloc>};
   }
 };
 
@@ -78,10 +94,12 @@ struct hp_policy {
 
 /// Lock-free ordered set as a Michael-Harris linked list, EBR-flavoured.
 template <typename T, typename Compare = std::less<T>,
-          typename Reclaim = reclaim::ebr_policy>
+          typename Reclaim = reclaim::ebr_policy,
+          typename Alloc = lfst::alloc::pool_policy>
 class harris_list {
  public:
   using key_type = T;
+  using alloc_t = Alloc;
   using domain_t = typename Reclaim::domain_type;
   using guard_t = typename Reclaim::guard_type;
   using node = detail::list_node<T>;
@@ -97,7 +115,7 @@ class harris_list {
     node* n = node::ptr(head_.load(std::memory_order_relaxed));
     while (n != nullptr) {
       node* next = node::ptr(n->next.load(std::memory_order_relaxed));
-      delete n;
+      node::template destroy<Alloc>(n);
       n = next;
     }
   }
@@ -121,7 +139,7 @@ class harris_list {
     for (;;) {
       position pos = find(v);
       if (pos.found) return false;
-      node* fresh = new node(v);
+      node* fresh = node::template create<Alloc>(v);
       fresh->next.store(node::pack(pos.curr, false),
                         std::memory_order_relaxed);
       std::uintptr_t expected = node::pack(pos.curr, false);
@@ -131,7 +149,7 @@ class harris_list {
         size_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
-      delete fresh;
+      node::template destroy<Alloc>(fresh);
       bo();
     }
   }
@@ -159,7 +177,7 @@ class harris_list {
       if (pos.prev_link->compare_exchange_strong(
               expected, node::pack(node::ptr(w), false),
               std::memory_order_acq_rel, std::memory_order_acquire)) {
-        Reclaim::retire(domain_, victim->as_retired());
+        Reclaim::retire(domain_, victim->template as_retired<Alloc>());
       } else {
         find(v);  // help: snips the marked node, retires it there
       }
@@ -225,7 +243,7 @@ class harris_list {
                 std::memory_order_acq_rel, std::memory_order_acquire)) {
           goto retry;  // prev changed: restart
         }
-        Reclaim::retire(domain_, curr->as_retired());
+        Reclaim::retire(domain_, curr->template as_retired<Alloc>());
         curr = node::ptr(w);
         if (curr == nullptr) return position{prev_link, nullptr, false};
         w = curr->next.load(std::memory_order_acquire);
@@ -252,10 +270,12 @@ class harris_list {
 /// next with three hazard slots and re-validates `prev_link` after each
 /// publication, per the original paper; this is the canonical consumer of
 /// reclaim/hazard.hpp.
-template <typename T, typename Compare = std::less<T>>
+template <typename T, typename Compare = std::less<T>,
+          typename Alloc = lfst::alloc::pool_policy>
 class harris_list_hp {
  public:
   using key_type = T;
+  using alloc_t = Alloc;
   using node = detail::list_node<T>;
 
   explicit harris_list_hp(reclaim::hp_domain& domain = reclaim::hp_domain::global(),
@@ -269,7 +289,7 @@ class harris_list_hp {
     node* n = node::ptr(head_.load(std::memory_order_relaxed));
     while (n != nullptr) {
       node* next = node::ptr(n->next.load(std::memory_order_relaxed));
-      delete n;
+      node::template destroy<Alloc>(n);
       n = next;
     }
   }
@@ -290,7 +310,7 @@ class harris_list_hp {
       position pos{};
       find(v, h, pos);
       if (pos.found) return false;
-      node* fresh = new node(v);
+      node* fresh = node::template create<Alloc>(v);
       fresh->next.store(node::pack(pos.curr, false),
                         std::memory_order_relaxed);
       std::uintptr_t expected = node::pack(pos.curr, false);
@@ -300,7 +320,7 @@ class harris_list_hp {
         size_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
-      delete fresh;
+      node::template destroy<Alloc>(fresh);
       bo();
     }
   }
@@ -326,7 +346,7 @@ class harris_list_hp {
       if (pos.prev_link->compare_exchange_strong(
               expected, node::pack(node::ptr(w), false),
               std::memory_order_acq_rel, std::memory_order_acquire)) {
-        domain_.retire(victim->as_retired());
+        domain_.retire(victim->template as_retired<Alloc>());
       } else {
         position dummy{};
         find(v, h, dummy);
@@ -433,7 +453,7 @@ class harris_list_hp {
                 std::memory_order_acquire)) {
           goto retry;
         }
-        domain_.retire(curr->as_retired());
+        domain_.retire(curr->template as_retired<Alloc>());
         continue;  // window unchanged; examine `next` via prev_link re-read
       }
       if (!cmp_(curr->key, v)) {

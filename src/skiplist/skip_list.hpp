@@ -32,6 +32,7 @@
 #include <functional>
 #include <new>
 
+#include "alloc/pool.hpp"
 #include "common/align.hpp"
 #include "common/backoff.hpp"
 #include "common/rng.hpp"
@@ -45,10 +46,12 @@ struct skip_list_options {
 };
 
 template <typename T, typename Compare = std::less<T>,
-          typename Reclaim = reclaim::ebr_policy>
+          typename Reclaim = reclaim::ebr_policy,
+          typename Alloc = lfst::alloc::pool_policy>
 class skip_list {
  public:
   using key_type = T;
+  using alloc_t = Alloc;
   using domain_t = typename Reclaim::domain_type;
   using guard_t = typename Reclaim::guard_type;
 
@@ -294,9 +297,9 @@ class skip_list {
     }
 
     static void destroy(node* n) noexcept {
+      const std::size_t bytes = footprint(n->top);
       n->key.~T();
-      ::operator delete(static_cast<void*>(n),
-                        std::align_val_t{alloc_align()});
+      Alloc::deallocate(static_cast<void*>(n), bytes, alloc_align());
     }
 
     static void destroy_erased(void* p) noexcept {
@@ -348,8 +351,7 @@ class skip_list {
       const std::size_t bytes =
           tower_offset() +
           sizeof(std::atomic<std::uintptr_t>) * static_cast<std::size_t>(top + 1);
-      return static_cast<node*>(
-          ::operator new(bytes, std::align_val_t{alloc_align()}));
+      return static_cast<node*>(Alloc::allocate(bytes, alloc_align()));
     }
   };
 

@@ -33,6 +33,7 @@
 #include <span>
 #include <type_traits>
 
+#include "alloc/pool.hpp"
 #include "common/align.hpp"
 #include "reclaim/retired.hpp"
 
@@ -99,13 +100,21 @@ struct contents {
   }
 
   // --- allocation ----------------------------------------------------------
+  //
+  // Every entry point below is templated on an allocation policy (see
+  // alloc/pool.hpp) with the plain heap as the default, so hand-built
+  // payloads in tests keep working unchanged.  `destroy` recomputes the
+  // block's (bytes, align) from its header, so no size prefix is stored and
+  // the type-erased reclamation deleter `&destroy_erased<Alloc>` carries
+  // the policy in its instantiation rather than in per-block state.
 
   /// Allocate an uninitialized block for `nkeys` keys.  Keys must be
   /// placement-constructed by the caller before publication.
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* allocate(std::uint32_t nkeys, bool inf, bool leaf,
                             node_t* link) {
     const std::size_t bytes = total_size(nkeys, inf, leaf);
-    void* raw = ::operator new(bytes, std::align_val_t{alloc_align()});
+    void* raw = Alloc::allocate(bytes, alloc_align());
     auto* c = new (raw) contents;
     c->link = link;
     c->nkeys = nkeys;
@@ -117,37 +126,42 @@ struct contents {
   /// Destroy a contents block (runs key destructors).  Used both directly
   /// (for blocks that were never published) and via `deleter` (for blocks
   /// retired through a reclamation domain).
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static void destroy(contents* c) noexcept {
     if constexpr (!std::is_trivially_destructible_v<T>) {
       for (std::uint32_t i = 0; i < c->nkeys; ++i) c->keys()[i].~T();
     }
-    const std::size_t align = alloc_align();
+    const std::size_t bytes = c->byte_size();
     c->~contents();
-    ::operator delete(static_cast<void*>(c), std::align_val_t{align});
+    Alloc::deallocate(static_cast<void*>(c), bytes, alloc_align());
   }
 
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static void destroy_erased(void* p) noexcept {
-    destroy(static_cast<contents*>(p));
+    destroy<Alloc>(static_cast<contents*>(p));
   }
 
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   reclaim::retired_block as_retired() noexcept {
-    return reclaim::retired_block{this, &contents::destroy_erased};
+    return reclaim::retired_block{this, &contents::destroy_erased<Alloc>};
   }
 
   // --- factories -----------------------------------------------------------
 
   /// The payload of the initial tree: one leaf containing only +inf.
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* make_initial_leaf() {
-    return allocate(0, /*inf=*/true, /*leaf=*/true, /*link=*/nullptr);
+    return allocate<Alloc>(0, /*inf=*/true, /*leaf=*/true, /*link=*/nullptr);
   }
 
   /// Routing payload with explicit keys/children (children.size() must be
   /// keys.size() + inf).
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* make_routing(std::span<const T> ks,
                                 std::span<node_t* const> cs, bool inf,
                                 node_t* link) {
     assert(cs.size() == ks.size() + (inf ? 1u : 0u));
-    contents* c = allocate(static_cast<std::uint32_t>(ks.size()), inf,
+    contents* c = allocate<Alloc>(static_cast<std::uint32_t>(ks.size()), inf,
                            /*leaf=*/false, link);
     std::uninitialized_copy(ks.begin(), ks.end(), c->keys());
     std::copy(cs.begin(), cs.end(), c->children());
@@ -155,26 +169,29 @@ struct contents {
   }
 
   /// Leaf payload with explicit keys.
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* make_leaf(std::span<const T> ks, bool inf, node_t* link) {
-    contents* c = allocate(static_cast<std::uint32_t>(ks.size()), inf,
+    contents* c = allocate<Alloc>(static_cast<std::uint32_t>(ks.size()), inf,
                            /*leaf=*/true, link);
     std::uninitialized_copy(ks.begin(), ks.end(), c->keys());
     return c;
   }
 
   /// Copy of `src` with `key` inserted at index `pos` (leaf insert).
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* copy_leaf_insert(const contents& src, std::uint32_t pos,
                                     const T& key) {
     assert(src.leaf && pos <= src.nkeys);
-    contents* c = allocate(src.nkeys + 1, src.inf, true, src.link);
+    contents* c = allocate<Alloc>(src.nkeys + 1, src.inf, true, src.link);
     copy_keys_with_insert(src, *c, pos, key);
     return c;
   }
 
   /// Copy of `src` with the key at `pos` removed (leaf erase).
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* copy_leaf_erase(const contents& src, std::uint32_t pos) {
     assert(src.leaf && pos < src.nkeys);
-    contents* c = allocate(src.nkeys - 1, src.inf, true, src.link);
+    contents* c = allocate<Alloc>(src.nkeys - 1, src.inf, true, src.link);
     copy_keys_with_erase(src, *c, pos);
     return c;
   }
@@ -182,10 +199,11 @@ struct contents {
   /// Copy of `src` with the key at `pos` overwritten by `key`.  Caller's
   /// contract: `key` is order-equivalent to the element it replaces (used
   /// by the map layer to update a value without moving the entry).
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* copy_leaf_assign(const contents& src, std::uint32_t pos,
                                     const T& key) {
     assert(src.leaf && pos < src.nkeys);
-    contents* c = allocate(src.nkeys, src.inf, true, src.link);
+    contents* c = allocate<Alloc>(src.nkeys, src.inf, true, src.link);
     std::uninitialized_copy(src.keys(), src.keys() + src.nkeys, c->keys());
     c->keys()[pos] = key;
     return c;
@@ -197,10 +215,11 @@ struct contents {
   /// the predecessor element and the new key (it is the left partition of
   /// the split below), and `right_child` is the reference shared by the new
   /// key and its successor element.
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* copy_routing_insert(const contents& src, std::uint32_t pos,
                                        const T& key, node_t* right_child) {
     assert(!src.leaf && pos <= src.nkeys);
-    contents* c = allocate(src.nkeys + 1, src.inf, false, src.link);
+    contents* c = allocate<Alloc>(src.nkeys + 1, src.inf, false, src.link);
     copy_keys_with_insert(src, *c, pos, key);
     node_t* const* sc = src.children();
     node_t** dc = c->children();
@@ -213,10 +232,11 @@ struct contents {
   /// Left partition of a split at key index `pos`: keys [0, pos], child
   /// slots [0, pos], link set to the new right node, +inf never retained
   /// (it moves to the right partition).
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* copy_split_left(const contents& src, std::uint32_t pos,
                                    node_t* right_node) {
     assert(pos < src.nkeys);
-    contents* c = allocate(pos + 1, /*inf=*/false, src.leaf, right_node);
+    contents* c = allocate<Alloc>(pos + 1, /*inf=*/false, src.leaf, right_node);
     std::uninitialized_copy(src.keys(), src.keys() + pos + 1, c->keys());
     if (!src.leaf) {
       std::copy(src.children(), src.children() + pos + 1, c->children());
@@ -226,10 +246,11 @@ struct contents {
 
   /// Right partition of a split at key index `pos`: keys (pos, nkeys), child
   /// slots (pos, logical_len), inherits `src`'s +inf flag and link.
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* copy_split_right(const contents& src, std::uint32_t pos) {
     assert(pos < src.nkeys);
     const std::uint32_t n = src.nkeys - pos - 1;
-    contents* c = allocate(n, src.inf, src.leaf, src.link);
+    contents* c = allocate<Alloc>(n, src.inf, src.leaf, src.link);
     std::uninitialized_copy(src.keys() + pos + 1, src.keys() + src.nkeys,
                             c->keys());
     if (!src.leaf) {
@@ -240,8 +261,9 @@ struct contents {
   }
 
   /// Copy of `src` with its link replaced (empty-successor bypass, Fig. 8a).
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* copy_with_link(const contents& src, node_t* new_link) {
-    contents* c = allocate(src.nkeys, src.inf, src.leaf, new_link);
+    contents* c = allocate<Alloc>(src.nkeys, src.inf, src.leaf, new_link);
     std::uninitialized_copy(src.keys(), src.keys() + src.nkeys, c->keys());
     if (!src.leaf) {
       std::copy(src.children(), src.children() + src.logical_len(),
@@ -252,10 +274,11 @@ struct contents {
 
   /// Copy of `src` with child slot `pos` replaced (empty-child bypass and
   /// suboptimal-reference repair, Fig. 8a/8b).
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* copy_with_child(const contents& src, std::uint32_t pos,
                                    node_t* new_child) {
     assert(!src.leaf && pos < src.logical_len());
-    contents* c = copy_with_link(src, src.link);
+    contents* c = copy_with_link<Alloc>(src, src.link);
     c->children()[pos] = new_child;
     return c;
   }
@@ -263,10 +286,11 @@ struct contents {
   /// Duplicate-child elimination (Fig. 8c): drop key `j` and child slot
   /// `j + 1`; requires children[j] == children[j+1] so the retained slot `j`
   /// covers the merged interval.
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* copy_drop_key_child(const contents& src, std::uint32_t j) {
     assert(!src.leaf && j < src.nkeys);
     assert(j + 1 < src.logical_len());
-    contents* c = allocate(src.nkeys - 1, src.inf, false, src.link);
+    contents* c = allocate<Alloc>(src.nkeys - 1, src.inf, false, src.link);
     copy_keys_with_erase(src, *c, j);
     node_t* const* sc = src.children();
     node_t** dc = c->children();
@@ -280,10 +304,11 @@ struct contents {
   /// successor node first).  Keeping the left neighbour slot preserves
   /// reachability: descents may land one node early and recover over links,
   /// but never early enough to skip keys.
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* copy_erase_key_own_child(const contents& src,
                                             std::uint32_t j) {
     assert(!src.leaf && j < src.nkeys);
-    contents* c = allocate(src.nkeys - 1, src.inf, false, src.link);
+    contents* c = allocate<Alloc>(src.nkeys - 1, src.inf, false, src.link);
     copy_keys_with_erase(src, *c, j);
     node_t* const* sc = src.children();
     node_t** dc = c->children();
@@ -295,10 +320,11 @@ struct contents {
   /// Element-migration destination update (Fig. 8d): prepend (key, child).
   /// Valid because routing levels tolerate duplicate elements (Theorem 1)
   /// and `key` precedes every element of `src` in level order.
+  template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* copy_prepend(const contents& src, const T& key,
                                 node_t* child) {
     assert(!src.leaf);
-    contents* c = allocate(src.nkeys + 1, src.inf, false, src.link);
+    contents* c = allocate<Alloc>(src.nkeys + 1, src.inf, false, src.link);
     copy_keys_with_insert(src, *c, 0, key);
     node_t* const* sc = src.children();
     node_t** dc = c->children();

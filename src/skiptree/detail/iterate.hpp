@@ -1,0 +1,157 @@
+// Leaf-level streaming: for_each / ranges / STL-style iterators.
+//
+// Traversal walks leaf payload snapshots over link pointers.  A key
+// inserted concurrently can land in a successor node at a position the scan
+// has already passed (multiway nodes admit front insertions, unlike
+// skip-list nodes); such keys are filtered so the visit order stays
+// strictly increasing -- the weak-consistency contract says concurrent
+// insertions may or may not be observed.  Keys are visited at most once, in
+// increasing order.
+//
+// Callers hold the reclamation guard: everything here walks payload
+// snapshots with no protection of its own.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iterator>
+
+#include "skiptree/detail/core.hpp"
+
+namespace lfst::skiptree::detail {
+
+/// Forward iterator over the leaf level.  Independent of the tree object:
+/// it needs only a comparator and a starting payload snapshot, so the
+/// facade's iteration_scope can hand out iterators without friendship.
+template <typename T, typename Compare>
+class leaf_iterator {
+ public:
+  using value_type = T;
+  using reference = const T&;
+  using pointer = const T*;
+  using difference_type = std::ptrdiff_t;
+  using iterator_category = std::forward_iterator_tag;
+
+  leaf_iterator() = default;
+
+  leaf_iterator(Compare cmp, const contents<T>* cts) : cmp_(cmp), cts_(cts) {
+    advance();
+  }
+
+  reference operator*() const { return cts_->keys()[idx_]; }
+  pointer operator->() const { return &cts_->keys()[idx_]; }
+
+  leaf_iterator& operator++() {
+    ++idx_;
+    advance();
+    return *this;
+  }
+  leaf_iterator operator++(int) {
+    leaf_iterator old = *this;
+    ++(*this);
+    return old;
+  }
+
+  bool operator==(const leaf_iterator& o) const {
+    return cts_ == o.cts_ && (cts_ == nullptr || idx_ == o.idx_);
+  }
+  bool operator!=(const leaf_iterator& o) const { return !(*this == o); }
+
+ private:
+  /// Settle on the next valid position: skip keys that would break the
+  /// strictly-increasing order (concurrent inserts landing behind the
+  /// cursor), hop links past exhausted/empty payload snapshots, and become
+  /// end() at the +inf terminator.
+  void advance() {
+    while (cts_ != nullptr) {
+      while (idx_ < cts_->nkeys) {
+        const T& key = cts_->keys()[idx_];
+        if (!have_last_ || cmp_(last_, key)) {
+          last_ = key;
+          have_last_ = true;
+          return;
+        }
+        ++idx_;
+      }
+      cts_ = cts_->link == nullptr
+                 ? nullptr
+                 : cts_->link->payload.load(std::memory_order_acquire);
+      idx_ = 0;
+    }
+  }
+
+  [[no_unique_address]] Compare cmp_{};
+  const contents<T>* cts_ = nullptr;
+  std::uint32_t idx_ = 0;
+  T last_{};
+  bool have_last_ = false;
+};
+
+template <typename Core>
+struct iterate_ops {
+  using T = typename Core::key_type;
+  using contents_t = typename Core::contents_t;
+  using node_t = typename Core::node_t;
+  using head_t = typename Core::head_t;
+
+  /// Ascending leaf scan; stops early when `fn` returns false.  Returns
+  /// true iff the scan was exhausted.
+  template <typename Fn>
+  static bool for_each_while(const Core& core, Fn&& fn) {
+    const contents_t* cts = core.leftmost_leaf_payload();
+    bool have_last = false;
+    T last{};
+    for (;;) {
+      for (std::uint32_t i = 0; i < cts->nkeys; ++i) {
+        const T& key = cts->keys()[i];
+        if (have_last && !core.cmp(last, key)) continue;  // key <= last: stale
+        last = key;
+        have_last = true;
+        if (!fn(key)) return false;
+      }
+      if (cts->link == nullptr) return true;  // the +inf leaf terminates
+      cts = Core::load_payload(cts->link);
+    }
+  }
+
+  /// Visit every member in [lo, hi) in ascending order, weakly
+  /// consistently: locate lo's leaf with one descent, then stream along the
+  /// leaf level.  Stops early if `fn` returns false; returns true iff the
+  /// range was exhausted.
+  template <typename Fn>
+  static bool for_range(const Core& core, const T& lo, const T& hi, Fn&& fn) {
+    const head_t* head = core.root.load(std::memory_order_acquire);
+    const node_t* nd = head->node;
+    const contents_t* cts = Core::load_payload(nd);
+    int i = core.search_keys(*cts, lo);
+    while (!cts->leaf) {
+      nd = Core::is_past_end(i, *cts) ? cts->link
+                                      : cts->children()[Core::descend_index(i)];
+      cts = Core::load_payload(nd);
+      i = core.search_keys(*cts, lo);
+    }
+    // Stream from lo's position; the monotonic filter mirrors
+    // for_each_while (concurrent inserts can land behind the cursor).
+    bool have_last = false;
+    T last{};
+    std::uint32_t start = Core::descend_index(i) <= cts->nkeys
+                              ? Core::descend_index(i)
+                              : cts->nkeys;
+    for (;;) {
+      for (std::uint32_t k = start; k < cts->nkeys; ++k) {
+        const T& key = cts->keys()[k];
+        if (core.cmp(key, lo)) continue;        // drifted left of the range
+        if (!core.cmp(key, hi)) return true;    // key >= hi: range exhausted
+        if (have_last && !core.cmp(last, key)) continue;
+        last = key;
+        have_last = true;
+        if (!fn(key)) return false;
+      }
+      if (cts->link == nullptr) return true;
+      cts = Core::load_payload(cts->link);
+      start = 0;
+    }
+  }
+};
+
+}  // namespace lfst::skiptree::detail

@@ -1,0 +1,100 @@
+// Wait-free descents (paper Fig. 4).
+//
+// Every read-only query shares one traversal shape: descend from the root,
+// binary-searching each payload snapshot and either following a child
+// reference or recovering rightward over a link, until a leaf snapshot whose
+// interval covers the probe key is in hand.  `descend_to_leaf` factors that
+// shape once; `contains`, `lower_bound` and `get` differ only in what they
+// conclude from the final (payload, index) pair.
+//
+// Wait-freedom: a single pass, no CAS, no helping.  Each step either moves
+// one level down or one node right; rightward moves are bounded because the
+// probe key is finite and every level ends in +inf (D1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "skiptree/detail/core.hpp"
+
+namespace lfst::skiptree::detail {
+
+template <typename Core>
+struct traverse_ops {
+  using T = typename Core::key_type;
+  using contents_t = typename Core::contents_t;
+  using node_t = typename Core::node_t;
+  using head_t = typename Core::head_t;
+
+  /// Root-to-leaf descent; returns the first leaf payload visited along
+  /// `v`'s search path and leaves `v`'s encoded index in `i`.  The leaf may
+  /// still sit left of `v`'s node (callers keep walking links while
+  /// `is_past_end` holds).
+  static const contents_t* descend_to_leaf(const Core& core, const T& v,
+                                           int& i) {
+    const head_t* head = core.root.load(std::memory_order_acquire);
+    const node_t* nd = head->node;
+    const contents_t* cts = Core::load_payload(nd);
+    i = core.search_keys(*cts, v);
+    while (!cts->leaf) {
+      nd = Core::is_past_end(i, *cts) ? cts->link
+                                      : cts->children()[Core::descend_index(i)];
+      cts = Core::load_payload(nd);
+      i = core.search_keys(*cts, v);
+    }
+    return cts;
+  }
+
+  /// Wait-free membership test: one root-to-leaf pass; each node is read at
+  /// most once per visit and no conditional atomics are performed.
+  static bool contains(const Core& core, const T& v) {
+    int i;
+    const contents_t* cts = descend_to_leaf(core, v, i);
+    for (;;) {
+      if (!Core::is_past_end(i, *cts)) {
+        // Linearization point: the acquire load of this leaf payload.
+        return i >= 0;
+      }
+      cts = Core::load_payload(cts->link);
+      i = core.search_keys(*cts, v);
+    }
+  }
+
+  /// Smallest member >= v (the set-theoretic ceiling).  Returns false if
+  /// every member is < v.
+  static bool lower_bound(const Core& core, const T& v, T& out) {
+    int i;
+    const contents_t* cts = descend_to_leaf(core, v, i);
+    for (;;) {
+      if (!Core::is_past_end(i, *cts)) {
+        const std::uint32_t pos = Core::descend_index(i);
+        if (pos < cts->nkeys) {
+          out = cts->keys()[pos];
+          return true;
+        }
+        return false;  // v's ceiling is the +inf terminator: no member >= v
+      }
+      cts = Core::load_payload(cts->link);
+      i = core.search_keys(*cts, v);
+    }
+  }
+
+  /// Copy out the stored element order-equivalent to `probe`.  With a
+  /// comparator that inspects only part of the element (as the map layer
+  /// does), this retrieves the full stored entry.
+  static bool get(const Core& core, const T& probe, T& out) {
+    int i;
+    const contents_t* cts = descend_to_leaf(core, probe, i);
+    for (;;) {
+      if (!Core::is_past_end(i, *cts)) {
+        if (i < 0) return false;
+        out = cts->keys()[static_cast<std::uint32_t>(i)];
+        return true;
+      }
+      cts = Core::load_payload(cts->link);
+      i = core.search_keys(*cts, probe);
+    }
+  }
+};
+
+}  // namespace lfst::skiptree::detail

@@ -25,8 +25,9 @@ inline constexpr std::uint32_t kSerializeVersion = 1;
 
 /// Write the tree's keys (ascending) to `out`.  Quiescent callers get an
 /// exact image; concurrent callers get a weakly-consistent one.
-template <typename T, typename Compare, typename Reclaim>
-void save(const skip_tree<T, Compare, Reclaim>& tree, std::ostream& out) {
+template <typename T, typename Compare, typename Reclaim, typename Alloc>
+void save(const skip_tree<T, Compare, Reclaim, Alloc>& tree,
+          std::ostream& out) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "binary serialization requires trivially copyable keys");
   std::vector<T> keys;
@@ -51,8 +52,9 @@ void save(const skip_tree<T, Compare, Reclaim>& tree, std::ostream& out) {
 /// Load a tree previously written by save().  The stored q is used unless
 /// `opts_override` is provided.  The result is bulk-built optimal.
 template <typename T, typename Compare = std::less<T>,
-          typename Reclaim = reclaim::ebr_policy>
-skip_tree<T, Compare, Reclaim> load(
+          typename Reclaim = reclaim::ebr_policy,
+          typename Alloc = lfst::alloc::pool_policy>
+skip_tree<T, Compare, Reclaim, Alloc> load(
     std::istream& in, const skip_tree_options* opts_override = nullptr,
     typename Reclaim::domain_type& domain = Reclaim::default_domain()) {
   static_assert(std::is_trivially_copyable_v<T>,
@@ -84,7 +86,7 @@ skip_tree<T, Compare, Reclaim> load(
   } else {
     opts.q_log2 = static_cast<int>(q_log2);
   }
-  return skip_tree<T, Compare, Reclaim>::from_sorted(
+  return skip_tree<T, Compare, Reclaim, Alloc>::from_sorted(
       std::span<const T>(keys), opts, domain);
 }
 

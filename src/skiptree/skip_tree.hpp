@@ -3,60 +3,50 @@
 // A skip-tree is a randomized multiway search tree: stacked linked lists
 // (like a skip-list) whose nodes hold many elements each (like a B-tree).
 // Membership is defined solely by the leaf level; routing levels are hints.
-// This implementation is a faithful port of the paper's algorithm:
 //
-//  * contains  (Fig. 4)  -- wait-free: a single pass, no CAS, no helping.
-//  * add       (Fig. 5)  -- lock-free: insert at the leaf, then alternately
-//    split the level and insert a copy one level up, up to the element's
-//    random geometric height.  Link pointers let a node split without
-//    coordinating with its parent.
-//  * remove    (Fig. 6)  -- lock-free: one cleanup traversal that performs
-//    online node compaction (Fig. 8) on the way down, then a CAS that
-//    removes the key from its leaf.
+// This header is the public facade; the algorithm lives in layered modules
+// under detail/ that map one-to-one onto the paper's figures:
 //
-// Relaxations (Sec. III): routing elements need not partition the tree.
-// Mutations may leave empty nodes and suboptimal child references behind;
-// the reachability properties (D1)-(D5) are preserved at every step, and
-// the four compaction transformations restore optimal paths lazily:
-//    8a  empty-node elimination        (clean_link / clean_node)
-//    8b  suboptimal-reference repair   (clean_node)
-//    8c  duplicate-child elimination   (clean_node)
-//    8d  element migration             (clean_node)
+//  * contains  (Fig. 4)  detail/traverse.hpp  -- wait-free descents.
+//  * add       (Fig. 5)  detail/insert.hpp    -- insert, split, root growth.
+//  * remove    (Fig. 6)  detail/compact.hpp   -- removal + the four online
+//                                               compaction transforms (Fig. 8).
+//  * from_sorted         detail/bulk_load.hpp -- optimal bottom-up build.
+//  * iteration           detail/iterate.hpp   -- leaf-level streaming.
+//  * shared state        detail/core.hpp      -- members, lifecycle,
+//                                               primitives.
 //
 // Memory reclamation: every mutation replaces an immutable payload via CAS;
-// the replaced payload is retired through the reclamation policy (EBR by
-// default), standing in for the paper's JVM garbage collector.  See
-// reclaim/ebr.hpp for the ABA argument.
+// the replaced payload is retired through the `Reclaim` policy (EBR by
+// default), standing in for the paper's JVM garbage collector.  Memory
+// allocation is a second policy, `Alloc` (alloc/pool.hpp): payload blocks
+// and node headers come from it, and the reclamation deleters return freed
+// payloads to it after the grace period -- the pooled default turns the
+// mutation hot path's malloc/free pair into a thread-local free-list hit.
 #pragma once
 
-#include <algorithm>
-#include <array>
 #include <atomic>
 #include <cassert>
-#include <cstdint>
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <span>
-#include <vector>
 
-#include "common/backoff.hpp"
-#include "common/rng.hpp"
+#include "alloc/pool.hpp"
 #include "reclaim/ebr.hpp"
 #include "skiptree/contents.hpp"
+#include "skiptree/detail/bulk_load.hpp"
+#include "skiptree/detail/compact.hpp"
+#include "skiptree/detail/core.hpp"
+#include "skiptree/detail/insert.hpp"
+#include "skiptree/detail/iterate.hpp"
+#include "skiptree/detail/traverse.hpp"
 
 namespace lfst::skiptree {
 
-/// Tuning knobs.  The paper controls the tree with a single parameter, the
-/// geometric failure rate q (best value q = 1/32, Sec. V); `q_log2`
-/// expresses q = 2^-q_log2.  Expected node width is 1/q.
-struct skip_tree_options {
-  int q_log2 = 5;           ///< q = 2^-q_log2; paper default q = 1/32
-  int max_height = 24;      ///< cap on element heights (levels 0..max_height)
-  bool compaction = true;   ///< enable online node compaction (ablation hook)
-};
-
 template <typename T, typename Compare = std::less<T>,
-          typename Reclaim = reclaim::ebr_policy>
+          typename Reclaim = reclaim::ebr_policy,
+          typename Alloc = lfst::alloc::pool_policy>
 class skip_tree {
  public:
   using key_type = T;
@@ -65,153 +55,63 @@ class skip_tree {
   using head_t = head_node<T>;
   using domain_t = typename Reclaim::domain_type;
   using guard_t = typename Reclaim::guard_type;
+  using reclaim_t = Reclaim;
+  using alloc_t = Alloc;
 
   skip_tree() : skip_tree(skip_tree_options{}) {}
 
   explicit skip_tree(skip_tree_options opts,
                      domain_t& domain = Reclaim::default_domain(),
                      Compare cmp = Compare{})
-      : opts_(opts), domain_(domain), cmp_(cmp) {
-    assert(opts_.q_log2 >= 1 && opts_.q_log2 <= 16);
-    assert(opts_.max_height >= 1 && opts_.max_height <= kMaxHeightLimit);
-    node_t* leaf = alloc_node(contents_t::make_initial_leaf());
-    root_.store(new head_t{leaf, 0}, std::memory_order_release);
-  }
+      : core_(opts, domain, cmp) {}
 
   skip_tree(const skip_tree&) = delete;
   skip_tree& operator=(const skip_tree&) = delete;
+  skip_tree(skip_tree&&) noexcept = default;
+  ~skip_tree() = default;
 
-  /// Bulk-load an OPTIMAL tree from sorted, duplicate-free keys: leaves
-  /// packed to exactly the expected width 1/q and routing levels built
-  /// bottom-up, so every node is optimal in the paper's Sec. III-D sense
-  /// (no empty nodes, no suboptimal references).  O(n); single-threaded
-  /// construction, concurrent use afterwards.  This also serves as the
-  /// "ideal structure" baseline the compaction ablation compares organic
-  /// growth against.
+  /// Bulk-load an OPTIMAL tree from sorted, duplicate-free keys (see
+  /// detail/bulk_load.hpp).  Single-threaded construction, concurrent use
+  /// afterwards.
   static skip_tree from_sorted(std::span<const T> sorted_keys,
                                skip_tree_options opts = skip_tree_options{},
                                domain_t& domain = Reclaim::default_domain()) {
     skip_tree tree(opts, domain);
-    tree.bulk_load(sorted_keys);
+    detail::bulk_load_ops<core_t>::build(tree.core_, sorted_keys);
     return tree;
   }
 
-  skip_tree(skip_tree&& other) noexcept
-      : opts_(other.opts_),
-        domain_(other.domain_),
-        cmp_(other.cmp_),
-        root_(other.root_.load(std::memory_order_relaxed)),
-        arena_(other.arena_.load(std::memory_order_relaxed)),
-        size_(other.size_.load(std::memory_order_relaxed)) {
-    // Move is construction-time only (no concurrent access): the source is
-    // left empty-but-destructible.
-    other.root_.store(nullptr, std::memory_order_relaxed);
-    other.arena_.store(nullptr, std::memory_order_relaxed);
-    other.size_.store(0, std::memory_order_relaxed);
-  }
+  // --- core operations (paper Figs. 4-6) -------------------------------------
 
-  /// Destruction requires quiescence (no concurrent operations).  Payloads
-  /// retired earlier sit in the reclamation domain with self-contained
-  /// deleters; everything still reachable -- including nodes bypassed by
-  /// compaction -- is freed here via the allocation arena.
-  ~skip_tree() {
-    node_t* n = arena_.load(std::memory_order_acquire);
-    while (n != nullptr) {
-      contents_t* c = n->payload.load(std::memory_order_relaxed);
-      if (c != nullptr) contents_t::destroy(c);
-      node_t* next = n->arena_next;
-      delete n;
-      n = next;
-    }
-    delete root_.load(std::memory_order_relaxed);
-  }
-
-  // --- contains (paper Fig. 4) ---------------------------------------------
-
-  /// Wait-free membership test: one root-to-leaf pass; each node is read at
-  /// most once per visit and no conditional atomics are performed.
+  /// Wait-free membership test.
   bool contains(const T& v) const {
-    guard_t g(domain_);
-    const head_t* head = root_.load(std::memory_order_acquire);
-    const node_t* nd = head->node;
-    const contents_t* cts = load_payload(nd);
-    int i = search_keys(*cts, v);
-    while (!cts->leaf) {
-      if (is_past_end(i, *cts)) {
-        nd = cts->link;
-      } else {
-        nd = cts->children()[descend_index(i)];
-      }
-      cts = load_payload(nd);
-      i = search_keys(*cts, v);
-    }
-    for (;;) {
-      if (is_past_end(i, *cts)) {
-        nd = cts->link;
-      } else {
-        // Linearization point: the acquire load of this leaf payload.
-        return i >= 0;
-      }
-      cts = load_payload(nd);
-      i = search_keys(*cts, v);
-    }
+    guard_t g(core_.domain);
+    return detail::traverse_ops<core_t>::contains(core_, v);
   }
 
-  // --- add (paper Fig. 5) ----------------------------------------------------
-
-  /// Lock-free insertion.  Returns false iff `v` was already present (the
-  /// unsuccessful case is linearized at the leaf payload read that finds v;
-  /// the successful case at the leaf CAS).
-  bool add(const T& v) { return add_with_height(v, random_level()); }
+  /// Lock-free insertion.  Returns false iff `v` was already present.
+  bool add(const T& v) { return add_with_height(v, core_.random_level()); }
 
   /// Insertion with an explicit element height -- the deterministic hook the
   /// structural tests use; `add` draws the height from the geometric
   /// distribution Pr(H = h) = q^h (1 - q).
   bool add_with_height(const T& v, int height) {
-    assert(height >= 0 && height <= opts_.max_height);
-    guard_t g(domain_);
-    std::array<search, kMaxHeightLimit + 1> srchs;
-    traverse_and_track(v, height, srchs.data());
-    if (!insert_list(v, srchs.data(), nullptr, 0)) return false;
-    size_.fetch_add(1, std::memory_order_relaxed);
-    for (int lvl = 0; lvl < height; ++lvl) {
-      node_t* right = split_list(v, srchs[lvl]);
-      if (right == nullptr) break;  // v vanished at lvl (concurrent remove)
-      if (!insert_list(v, srchs.data(), right, lvl + 1)) break;
-    }
-    return true;
+    guard_t g(core_.domain);
+    return detail::insert_ops<core_t>::add(core_, v, height);
   }
-
-  // --- remove (paper Fig. 6) --------------------------------------------------
 
   /// Lock-free removal with piggybacked node compaction.  Returns false iff
   /// `v` was absent.
   bool remove(const T& v) {
-    guard_t g(domain_);
-    search s = traverse_and_cleanup(v);
-    backoff bo;
-    for (;;) {
-      if (s.index < 0) return false;  // linearized at the leaf payload read
-      contents_t* repl =
-          contents_t::copy_leaf_erase(*s.cts, static_cast<std::uint32_t>(s.index));
-      if (cas_payload(s.node, s.cts, repl)) {
-        // Linearization point of a successful remove.
-        retire(s.cts);
-        size_.fetch_sub(1, std::memory_order_relaxed);
-        return true;
-      }
-      contents_t::destroy(repl);
-      cas_failures_.fetch_add(1, std::memory_order_relaxed);
-      bo();
-      s = move_forward(s.node, v);
-    }
+    guard_t g(core_.domain);
+    return detail::compact_ops<core_t>::remove(core_, v);
   }
 
-  // --- observers ---------------------------------------------------------------
+  // --- observers -------------------------------------------------------------
 
   /// Relaxed element count (exact when quiescent).
   std::size_t size() const noexcept {
-    const auto n = size_.load(std::memory_order_relaxed);
+    const auto n = core_.size.load(std::memory_order_relaxed);
     return n < 0 ? 0 : static_cast<std::size_t>(n);
   }
 
@@ -220,7 +120,7 @@ class skip_tree {
   /// Current height of the root level (levels are 0-based, so a fresh tree
   /// reports 0).
   int height() const noexcept {
-    return root_.load(std::memory_order_acquire)->height;
+    return core_.root.load(std::memory_order_acquire)->height;
   }
 
   /// Weakly-consistent ascending iteration over the leaf level.  Keys
@@ -235,30 +135,11 @@ class skip_tree {
   }
 
   /// As `for_each`, but stops early when `fn` returns false.
-  ///
-  /// The traversal walks leaf payload snapshots over link pointers.  A key
-  /// inserted concurrently can land in a successor node at a position the
-  /// scan has already passed (multiway nodes admit front insertions, unlike
-  /// skip-list nodes); such keys are filtered so the visit order stays
-  /// strictly increasing -- the weak-consistency contract says concurrent
-  /// insertions may or may not be observed.
   template <typename Fn>
   bool for_each_while(Fn&& fn) const {
-    guard_t g(domain_);
-    const contents_t* cts = leftmost_leaf_payload();
-    bool have_last = false;
-    T last{};
-    for (;;) {
-      for (std::uint32_t i = 0; i < cts->nkeys; ++i) {
-        const T& key = cts->keys()[i];
-        if (have_last && !cmp_(last, key)) continue;  // key <= last: stale
-        last = key;
-        have_last = true;
-        if (!fn(key)) return false;
-      }
-      if (cts->link == nullptr) return true;  // the +inf leaf terminates
-      cts = load_payload(cts->link);
-    }
+    guard_t g(core_.domain);
+    return detail::iterate_ops<core_t>::for_each_while(core_,
+                                                       std::forward<Fn>(fn));
   }
 
   /// Exact O(n) key count by leaf traversal (test/diagnostic hook).
@@ -270,8 +151,7 @@ class skip_tree {
 
   /// Scoped STL-style iteration.  The scope pins the reclamation epoch once
   /// for its lifetime; iterators inside it are forward iterators over the
-  /// leaf level with the same weak-consistency contract as for_each (keys
-  /// are visited at most once, in strictly increasing order).
+  /// leaf level with the same weak-consistency contract as for_each.
   ///
   ///   skip_tree<int>::iteration_scope scope(tree);
   ///   for (int k : scope) use(k);
@@ -279,75 +159,13 @@ class skip_tree {
   /// Keep scopes short-lived: a pinned epoch delays reclamation globally.
   class iteration_scope {
    public:
+    using iterator = detail::leaf_iterator<T, Compare>;
+
     explicit iteration_scope(const skip_tree& tree)
-        : guard_(std::make_unique<guard_t>(tree.domain_)), tree_(tree) {}
-
-    class iterator {
-     public:
-      using value_type = T;
-      using reference = const T&;
-      using pointer = const T*;
-      using difference_type = std::ptrdiff_t;
-      using iterator_category = std::forward_iterator_tag;
-
-      iterator() = default;
-
-      reference operator*() const { return cts_->keys()[idx_]; }
-      pointer operator->() const { return &cts_->keys()[idx_]; }
-
-      iterator& operator++() {
-        ++idx_;
-        advance();
-        return *this;
-      }
-      iterator operator++(int) {
-        iterator old = *this;
-        ++(*this);
-        return old;
-      }
-
-      bool operator==(const iterator& o) const {
-        return cts_ == o.cts_ && (cts_ == nullptr || idx_ == o.idx_);
-      }
-      bool operator!=(const iterator& o) const { return !(*this == o); }
-
-     private:
-      friend class iteration_scope;
-
-      iterator(const skip_tree* tree, const contents_t* cts)
-          : tree_(tree), cts_(cts) {
-        advance();
-      }
-
-      /// Settle on the next valid position: skip keys that would break the
-      /// strictly-increasing order (concurrent inserts landing behind the
-      /// cursor), hop links past exhausted/empty payload snapshots, and
-      /// become end() at the +inf terminator.
-      void advance() {
-        while (cts_ != nullptr) {
-          while (idx_ < cts_->nkeys) {
-            const T& key = cts_->keys()[idx_];
-            if (!have_last_ || tree_->cmp_(last_, key)) {
-              last_ = key;
-              have_last_ = true;
-              return;
-            }
-            ++idx_;
-          }
-          cts_ = cts_->link == nullptr ? nullptr : load_payload(cts_->link);
-          idx_ = 0;
-        }
-      }
-
-      const skip_tree* tree_ = nullptr;
-      const contents_t* cts_ = nullptr;
-      std::uint32_t idx_ = 0;
-      T last_{};
-      bool have_last_ = false;
-    };
+        : guard_(std::make_unique<guard_t>(tree.core_.domain)), tree_(tree) {}
 
     iterator begin() const {
-      return iterator(&tree_, tree_.leftmost_leaf_payload());
+      return iterator(tree_.core_.cmp, tree_.core_.leftmost_leaf_payload());
     }
     iterator end() const { return iterator(); }
 
@@ -356,7 +174,7 @@ class skip_tree {
     const skip_tree& tree_;
   };
 
-  // --- ordered queries ---------------------------------------------------------
+  // --- ordered queries -------------------------------------------------------
   //
   // The multiway structure makes order queries natural: a wait-free descent
   // lands on the unique leaf pair A < v <= B (property D3), so the ceiling
@@ -365,79 +183,22 @@ class skip_tree {
   /// Smallest member >= v (the set-theoretic ceiling).  Wait-free, same
   /// traversal as contains().  Returns false if every member is < v.
   bool lower_bound(const T& v, T& out) const {
-    guard_t g(domain_);
-    const head_t* head = root_.load(std::memory_order_acquire);
-    const node_t* nd = head->node;
-    const contents_t* cts = load_payload(nd);
-    int i = search_keys(*cts, v);
-    while (!cts->leaf) {
-      nd = is_past_end(i, *cts) ? cts->link
-                                : cts->children()[descend_index(i)];
-      cts = load_payload(nd);
-      i = search_keys(*cts, v);
-    }
-    for (;;) {
-      if (!is_past_end(i, *cts)) {
-        const std::uint32_t pos = descend_index(i);
-        if (pos < cts->nkeys) {
-          out = cts->keys()[pos];
-          return true;
-        }
-        return false;  // v's ceiling is the +inf terminator: no member >= v
-      }
-      nd = cts->link;
-      cts = load_payload(nd);
-      i = search_keys(*cts, v);
-    }
+    guard_t g(core_.domain);
+    return detail::traverse_ops<core_t>::lower_bound(core_, v, out);
   }
 
   /// Wait-free: copy out the stored element order-equivalent to `probe`.
-  /// With a comparator that inspects only part of the element (as the map
-  /// layer does), this retrieves the full stored entry.
   bool get(const T& probe, T& out) const {
-    guard_t g(domain_);
-    const head_t* head = root_.load(std::memory_order_acquire);
-    const node_t* nd = head->node;
-    const contents_t* cts = load_payload(nd);
-    int i = search_keys(*cts, probe);
-    while (!cts->leaf) {
-      nd = is_past_end(i, *cts) ? cts->link
-                                : cts->children()[descend_index(i)];
-      cts = load_payload(nd);
-      i = search_keys(*cts, probe);
-    }
-    for (;;) {
-      if (!is_past_end(i, *cts)) {
-        if (i < 0) return false;
-        out = cts->keys()[static_cast<std::uint32_t>(i)];
-        return true;
-      }
-      nd = cts->link;
-      cts = load_payload(nd);
-      i = search_keys(*cts, probe);
-    }
+    guard_t g(core_.domain);
+    return detail::traverse_ops<core_t>::get(core_, probe, out);
   }
 
   /// Lock-free: overwrite the stored element order-equivalent to `v` with
   /// `v` itself (same position, new payload -- the primitive behind the map
-  /// layer's assign).  Returns false iff no equivalent element is present;
-  /// linearizes at the leaf CAS (success) or leaf payload read (failure).
+  /// layer's assign).  Returns false iff no equivalent element is present.
   bool replace(const T& v) {
-    guard_t g(domain_);
-    search s = move_forward_from_root(v);
-    backoff bo;
-    for (;;) {
-      if (s.index < 0) return false;
-      contents_t* repl = contents_t::copy_leaf_assign(
-          *s.cts, static_cast<std::uint32_t>(s.index), v);
-      if (cas_payload(s.node, s.cts, repl)) {
-        retire(s.cts);
-        return true;
-      }
-      contents_t::destroy(repl);
-      bo();
-      s = move_forward(s.node, v);
-    }
+    guard_t g(core_.domain);
+    return detail::insert_ops<core_t>::replace(core_, v);
   }
 
   /// Smallest member of the set; false when empty.
@@ -452,47 +213,17 @@ class skip_tree {
   }
 
   /// Visit every member in [lo, hi) in ascending order, weakly
-  /// consistently: locate lo's leaf with one descent, then stream along the
-  /// leaf level.  Stops early if `fn` returns false; returns true iff the
+  /// consistently.  Stops early if `fn` returns false; returns true iff the
   /// range was exhausted.
   template <typename Fn>
   bool for_range(const T& lo, const T& hi, Fn&& fn) const {
-    guard_t g(domain_);
-    const head_t* head = root_.load(std::memory_order_acquire);
-    const node_t* nd = head->node;
-    const contents_t* cts = load_payload(nd);
-    int i = search_keys(*cts, lo);
-    while (!cts->leaf) {
-      nd = is_past_end(i, *cts) ? cts->link
-                                : cts->children()[descend_index(i)];
-      cts = load_payload(nd);
-      i = search_keys(*cts, lo);
-    }
-    // Stream from lo's position; the monotonic filter mirrors
-    // for_each_while (concurrent inserts can land behind the cursor).
-    bool have_last = false;
-    T last{};
-    std::uint32_t start = descend_index(i) <= cts->nkeys
-                              ? descend_index(i)
-                              : cts->nkeys;
-    for (;;) {
-      for (std::uint32_t k = start; k < cts->nkeys; ++k) {
-        const T& key = cts->keys()[k];
-        if (cmp_(key, lo)) continue;        // drifted left of the range
-        if (!cmp_(key, hi)) return true;    // key >= hi: range exhausted
-        if (have_last && !cmp_(last, key)) continue;
-        last = key;
-        have_last = true;
-        if (!fn(key)) return false;
-      }
-      if (cts->link == nullptr) return true;
-      cts = load_payload(cts->link);
-      start = 0;
-    }
+    guard_t g(core_.domain);
+    return detail::iterate_ops<core_t>::for_range(core_, lo, hi,
+                                                  std::forward<Fn>(fn));
   }
 
-  const skip_tree_options& options() const noexcept { return opts_; }
-  domain_t& domain() noexcept { return domain_; }
+  const skip_tree_options& options() const noexcept { return core_.opts; }
+  domain_t& domain() noexcept { return core_.domain; }
 
   /// Structural event counters (diagnostics; relaxed, updated off the fast
   /// path only).
@@ -507,526 +238,22 @@ class skip_tree {
   };
 
   structural_stats stats() const noexcept {
-    return {cas_failures_.load(std::memory_order_relaxed),
-            splits_.load(std::memory_order_relaxed),
-            root_raises_.load(std::memory_order_relaxed),
-            empty_bypasses_.load(std::memory_order_relaxed),
-            ref_repairs_.load(std::memory_order_relaxed),
-            duplicate_drops_.load(std::memory_order_relaxed),
-            migrations_.load(std::memory_order_relaxed)};
+    return {core_.cas_failures.load(std::memory_order_relaxed),
+            core_.splits.load(std::memory_order_relaxed),
+            core_.root_raises.load(std::memory_order_relaxed),
+            core_.empty_bypasses.load(std::memory_order_relaxed),
+            core_.ref_repairs.load(std::memory_order_relaxed),
+            core_.duplicate_drops.load(std::memory_order_relaxed),
+            core_.migrations.load(std::memory_order_relaxed)};
   }
 
  private:
-  template <typename, typename, typename>
+  template <typename, typename, typename, typename>
   friend class skip_tree_inspector;
 
-  static constexpr int kMaxHeightLimit = 32;
+  using core_t = detail::tree_core<T, Compare, Reclaim, Alloc>;
 
-  /// Paper Fig. 3 `Search`: a node, a payload snapshot, and the Java-style
-  /// encoded index of the probe key (>= 0 found; < 0 encodes -(insertion
-  /// point) - 1).
-  struct search {
-    node_t* node = nullptr;
-    contents_t* cts = nullptr;
-    int index = 0;
-  };
-
-  // --- primitive helpers -----------------------------------------------------
-
-  static contents_t* load_payload(const node_t* n) noexcept {
-    return n->payload.load(std::memory_order_acquire);
-  }
-
-  bool cas_payload(node_t* n, contents_t*& expected, contents_t* desired) {
-    return n->payload.compare_exchange_strong(
-        expected, desired, std::memory_order_acq_rel,
-        std::memory_order_acquire);
-  }
-
-  void retire(contents_t* c) { Reclaim::retire(domain_, c->as_retired()); }
-
-  /// Binary search over the finite keys; lower-bound semantics so that with
-  /// duplicate routing elements the descent uses the leftmost match (going
-  /// too far right at a routing level could skip the target, while landing
-  /// left recovers over links).
-  int search_keys(const contents_t& c, const T& v) const {
-    const T* keys = c.keys();
-    std::uint32_t lo = 0;
-    std::uint32_t hi = c.nkeys;
-    while (lo < hi) {
-      const std::uint32_t mid = lo + (hi - lo) / 2;
-      if (cmp_(keys[mid], v)) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    if (lo < c.nkeys && !cmp_(v, keys[lo])) return static_cast<int>(lo);
-    return -static_cast<int>(lo) - 1;
-  }
-
-  /// The paper's `-i - 1 == cts.items.length` condition: the probe key is
-  /// greater than every element (also true of an empty node), so traversal
-  /// must follow the link pointer.
-  static bool is_past_end(int i, const contents_t& c) noexcept {
-    return i < 0 && static_cast<std::uint32_t>(-i - 1) == c.logical_len();
-  }
-
-  static std::uint32_t descend_index(int i) noexcept {
-    return static_cast<std::uint32_t>(i < 0 ? -i - 1 : i);
-  }
-
-  node_t* alloc_node(contents_t* c) {
-    node_t* n = new node_t;
-    n->payload.store(c, std::memory_order_relaxed);
-    n->arena_next = arena_.load(std::memory_order_relaxed);
-    while (!arena_.compare_exchange_weak(n->arena_next, n,
-                                         std::memory_order_release,
-                                         std::memory_order_relaxed)) {
-    }
-    return n;
-  }
-
-  int random_level() {
-    thread_local xoshiro256ss rng{mix_thread_seed()};
-    return geometric_level(rng, opts_.q_log2, opts_.max_height);
-  }
-
-  static std::uint64_t mix_thread_seed() {
-    static std::atomic<std::uint64_t> counter{0x9e3779b97f4a7c15ull};
-    return thread_seed(counter.fetch_add(1, std::memory_order_relaxed), 0);
-  }
-
-  const contents_t* leftmost_leaf_payload() const {
-    const head_t* head = root_.load(std::memory_order_acquire);
-    const node_t* nd = head->node;
-    const contents_t* cts = load_payload(nd);
-    while (!cts->leaf) {
-      // An empty routing node has no children; recover over its link.
-      nd = cts->logical_len() == 0 ? cts->link : cts->children()[0];
-      cts = load_payload(nd);
-    }
-    return cts;
-  }
-
-  // --- add machinery (paper Fig. 5) -------------------------------------------
-
-  /// Root-to-leaf traversal that records, for every level at or below `h`,
-  /// the node where `v` belongs (the insertion hints consumed by
-  /// insert_list / split_list).
-  void traverse_and_track(const T& v, int h, search* srchs) {
-    const head_t* head = root_.load(std::memory_order_acquire);
-    if (head->height < h) head = increase_root_height(h);
-    int level = head->height;
-    node_t* nd = head->node;
-    for (;;) {
-      contents_t* cts = load_payload(nd);
-      const int i = search_keys(*cts, v);
-      if (is_past_end(i, *cts)) {
-        nd = cts->link;
-      } else {
-        if (level <= h) {
-          srchs[level] = search{nd, cts, i};
-        }
-        if (level == 0) return;
-        nd = cts->children()[descend_index(i)];
-        --level;
-      }
-    }
-  }
-
-  /// Grow the tree upward until the root level is at least `h`: each new
-  /// top level starts as a single node holding only +inf whose sole child is
-  /// the previous root node.
-  const head_t* increase_root_height(int h) {
-    head_t* head = root_.load(std::memory_order_acquire);
-    while (head->height < h) {
-      node_t* child = head->node;
-      contents_t* c = contents_t::make_routing(
-          std::span<const T>{}, std::span<node_t* const>{&child, 1},
-          /*inf=*/true, /*link=*/nullptr);
-      node_t* top = alloc_node(c);
-      head_t* grown = new head_t{top, head->height + 1};
-      if (root_.compare_exchange_strong(head, grown,
-                                        std::memory_order_acq_rel,
-                                        std::memory_order_acquire)) {
-        Reclaim::retire(domain_, head);
-        root_raises_.fetch_add(1, std::memory_order_relaxed);
-        head = grown;
-      } else {
-        // Lost the race: `top` stays in the arena (freed with the tree),
-        // its payload and the head descriptor were never published.
-        delete grown;
-      }
-    }
-    return head;
-  }
-
-  /// Insert `v` at `level`, using srchs[level] as the position hint (updated
-  /// in place on success so split_list starts from the freshest snapshot).
-  /// Returns false when `v` is already present at the level -- which at the
-  /// leaf level means the add fails, and at routing levels means another
-  /// copy exists and raising stops (paper Sec. III-C).
-  bool insert_list(const T& v, search* srchs, node_t* right_child, int level) {
-    assert(level == 0 || right_child != nullptr);
-    search& s = srchs[level];
-    node_t* nd = s.node;
-    contents_t* cts = s.cts;
-    int i = s.index;
-    backoff bo;
-    for (;;) {
-      if (i >= 0) return false;  // already present at this level
-      if (is_past_end(i, *cts)) {
-        // v exceeds every element (or the node is empty: inserting into an
-        // empty node is forbidden); move along the level.
-        nd = cts->link;
-        assert(nd != nullptr);
-        cts = load_payload(nd);
-        i = search_keys(*cts, v);
-        continue;
-      }
-      const std::uint32_t pos = descend_index(i);
-      contents_t* repl =
-          level == 0 ? contents_t::copy_leaf_insert(*cts, pos, v)
-                     : contents_t::copy_routing_insert(*cts, pos, v,
-                                                       right_child);
-      if (cas_payload(nd, cts, repl)) {
-        retire(cts);
-        s = search{nd, repl, static_cast<int>(pos)};
-        return true;
-      }
-      contents_t::destroy(repl);
-      cas_failures_.fetch_add(1, std::memory_order_relaxed);
-      // cts now holds nd's current payload (CAS reloads on failure).
-      bo();
-      i = search_keys(*cts, v);
-    }
-  }
-
-  /// Split the node containing `v` at srchs[level]'s level into a left
-  /// partition (elements <= v, keeps the node identity) and a fresh right
-  /// partition (elements > v).  Returns the right node, to be linked as the
-  /// child accompanying `v` one level up; null if `v` disappeared (the split
-  /// is then abandoned, paper Sec. III-C).
-  node_t* split_list(const T& v, search& s) {
-    node_t* nd = s.node;
-    contents_t* cts = s.cts;
-    node_t* rnode = nullptr;
-    backoff bo;
-    for (;;) {
-      const int i = search_keys(*cts, v);
-      if (i < 0) {
-        if (is_past_end(i, *cts)) {
-          nd = cts->link;  // v moved right via a concurrent split
-          assert(nd != nullptr);
-          cts = load_payload(nd);
-          continue;
-        }
-        return nullptr;  // v was removed concurrently
-      }
-      const std::uint32_t pos = static_cast<std::uint32_t>(i);
-      if (pos + 1 == cts->nkeys && !cts->inf && cts->link == nullptr) {
-        // Degenerate: v is the global maximum of the level with nothing to
-        // its right.  Cannot happen while (D1) holds (the level ends in
-        // +inf), but guard against it rather than split off a dead end.
-        return nullptr;
-      }
-      contents_t* right = contents_t::copy_split_right(*cts, pos);
-      if (rnode == nullptr) {
-        rnode = alloc_node(right);
-      } else {
-        // Reuse the node allocated by a failed attempt; replace its payload.
-        contents_t* prev = rnode->payload.load(std::memory_order_relaxed);
-        rnode->payload.store(right, std::memory_order_relaxed);
-        contents_t::destroy(prev);
-      }
-      contents_t* left = contents_t::copy_split_left(*cts, pos, rnode);
-      if (cas_payload(nd, cts, left)) {
-        retire(cts);
-        splits_.fetch_add(1, std::memory_order_relaxed);
-        s = search{nd, left, static_cast<int>(pos)};
-        return rnode;
-      }
-      contents_t::destroy(left);
-      cas_failures_.fetch_add(1, std::memory_order_relaxed);
-      bo();
-      // cts reloaded by the failed CAS; retry (possibly moving forward).
-    }
-  }
-
-  // --- remove machinery (paper Fig. 6) ------------------------------------------
-
-  /// Root-to-leaf traversal that performs node compaction along the way and
-  /// returns the leaf-level position of `v`.
-  search traverse_and_cleanup(const T& v) {
-    const head_t* head = root_.load(std::memory_order_acquire);
-    node_t* nd = head->node;
-    contents_t* cts = load_payload(nd);
-    int i = search_keys(*cts, v);
-    bool have_max = false;
-    T pred_max{};  // max element of the node a link was crossed from
-    while (!cts->leaf) {
-      if (is_past_end(i, *cts)) {
-        if (cts->nkeys > 0) {
-          pred_max = cts->max_key();
-          have_max = true;
-        }
-        nd = clean_link(nd, cts);
-      } else {
-        const std::uint32_t idx = descend_index(i);
-        if (opts_.compaction) {
-          clean_node(nd, cts, idx, have_max ? &pred_max : nullptr);
-        }
-        nd = cts->children()[idx];
-        have_max = false;
-      }
-      cts = load_payload(nd);
-      i = search_keys(*cts, v);
-    }
-    for (;;) {
-      if (!is_past_end(i, *cts)) return search{nd, cts, i};
-      nd = clean_link(nd, cts);
-      cts = load_payload(nd);
-      i = search_keys(*cts, v);
-    }
-  }
-
-  /// Single-threaded optimal construction; see from_sorted().
-  void bulk_load(std::span<const T> keys) {
-    assert(size() == 0 && height() == 0 && "bulk_load requires a fresh tree");
-    if (keys.empty()) return;
-#ifndef NDEBUG
-    for (std::size_t i = 1; i < keys.size(); ++i) {
-      assert(cmp_(keys[i - 1], keys[i]) && "keys must be sorted and unique");
-    }
-#endif
-    const std::size_t width = std::size_t{1} << opts_.q_log2;  // 1/q
-
-    // Leaf level, built right-to-left so each payload is born with its
-    // final link; the last leaf carries the +inf terminator.
-    const std::size_t nleaves = (keys.size() + width - 1) / width;
-    std::vector<node_t*> level(nleaves);
-    std::vector<T> level_max(nleaves);  // finite max; unused for the last
-    node_t* next = nullptr;
-    for (std::size_t c = nleaves; c-- > 0;) {
-      const std::size_t begin = c * width;
-      const std::size_t len = std::min(width, keys.size() - begin);
-      const bool last = (c + 1 == nleaves);
-      contents_t* payload = contents_t::make_leaf(
-          keys.subspan(begin, len), /*inf=*/last, /*link=*/next);
-      level[c] = alloc_node(payload);
-      level_max[c] = keys[begin + len - 1];
-      next = level[c];
-    }
-
-    // Routing levels: each node's element for child c_i is max(c_i); the
-    // globally last child's element is the +inf terminator.
-    int h = 0;
-    while (level.size() > 1) {
-      const std::size_t nnodes = (level.size() + width - 1) / width;
-      std::vector<node_t*> upper(nnodes);
-      std::vector<T> upper_max(nnodes);
-      next = nullptr;
-      for (std::size_t c = nnodes; c-- > 0;) {
-        const std::size_t begin = c * width;
-        const std::size_t len = std::min(width, level.size() - begin);
-        const bool last = (c + 1 == nnodes);
-        std::vector<T> elems;
-        elems.reserve(len);
-        for (std::size_t j = 0; j < (last ? len - 1 : len); ++j) {
-          elems.push_back(level_max[begin + j]);
-        }
-        contents_t* payload = contents_t::make_routing(
-            std::span<const T>(elems),
-            std::span<node_t* const>(level.data() + begin, len),
-            /*inf=*/last, /*link=*/next);
-        upper[c] = alloc_node(payload);
-        upper_max[c] = level_max[begin + len - 1];
-        next = upper[c];
-      }
-      level = std::move(upper);
-      level_max = std::move(upper_max);
-      ++h;
-    }
-
-    head_t* fresh = new head_t{level[0], h};
-    head_t* old = root_.exchange(fresh, std::memory_order_acq_rel);
-    delete old;  // construction-time: no concurrent readers
-    size_.store(static_cast<std::ptrdiff_t>(keys.size()),
-                std::memory_order_relaxed);
-  }
-
-  /// Plain descent (no cleanup) to the leaf position of `v`.
-  search move_forward_from_root(const T& v) {
-    const head_t* head = root_.load(std::memory_order_acquire);
-    node_t* nd = head->node;
-    contents_t* cts = load_payload(nd);
-    int i = search_keys(*cts, v);
-    while (!cts->leaf) {
-      nd = is_past_end(i, *cts) ? cts->link
-                                : cts->children()[descend_index(i)];
-      cts = load_payload(nd);
-      i = search_keys(*cts, v);
-    }
-    return move_forward(nd, v);
-  }
-
-  /// Re-locate `v` at the leaf level after a failed remove CAS: walk right
-  /// from `nd` to the first node with an element >= v.  Property (D5) makes
-  /// walking right always safe: once every element of a node is < v it
-  /// stays that way in all futures.
-  search move_forward(node_t* nd, const T& v) {
-    for (;;) {
-      contents_t* cts = load_payload(nd);
-      const int i = search_keys(*cts, v);
-      if (!is_past_end(i, *cts)) return search{nd, cts, i};
-      nd = cts->link;
-      assert(nd != nullptr);
-    }
-  }
-
-  /// Empty-node elimination across a link (Fig. 8a): swing `nd`'s link past
-  /// empty successors, then return the first non-empty successor.  Readers
-  /// (contains) never call this; they step through empty nodes wait-free.
-  node_t* clean_link(node_t* nd, contents_t* cts) {
-    for (;;) {
-      node_t* next = cts->link;
-      assert(next != nullptr);
-      contents_t* ncts = load_payload(next);
-      if (!ncts->empty()) return next;
-      contents_t* repl = contents_t::copy_with_link(*cts, ncts->link);
-      if (cas_payload(nd, cts, repl)) {
-        retire(cts);
-        empty_bypasses_.fetch_add(1, std::memory_order_relaxed);
-        cts = repl;
-      } else {
-        // cts reloaded; nd changed under us.  Moving right remains safe
-        // (D5), so just continue from the fresh payload.
-        contents_t::destroy(repl);
-      }
-    }
-  }
-
-  /// Node compaction at a routing node during descent (Fig. 8).  `idx` is
-  /// the child slot the traversal is about to follow; `pred_max` is the
-  /// greatest element of the node a link was just crossed from, if any
-  /// (needed to judge the first slot's optimality).  All repairs are
-  /// best-effort single CAS attempts: a failure means another thread
-  /// changed the node, whose own compaction pass will see the fresh state.
-  void clean_node(node_t* nd, contents_t* cts, std::uint32_t idx,
-                  const T* pred_max) {
-    node_t* child = cts->children()[idx];
-    contents_t* ccts = load_payload(child);
-
-    // (8a) child is empty: bypass it.  (8b) the child's maximum falls left
-    // of the slot's lower bound A: the reference is suboptimal; its
-    // successor covers the interval.
-    bool bypass = false;
-    if (ccts->empty()) {
-      bypass = true;
-    } else if (!ccts->inf && ccts->nkeys > 0) {
-      const T* lower_bound_elem =
-          idx > 0 ? &cts->keys()[idx - 1] : pred_max;
-      if (lower_bound_elem != nullptr &&
-          cmp_(ccts->max_key(), *lower_bound_elem)) {
-        bypass = true;
-      }
-    }
-    if (bypass) {
-      assert(ccts->link != nullptr);
-      contents_t* repl = contents_t::copy_with_child(*cts, idx, ccts->link);
-      if (cas_payload(nd, cts, repl)) {
-        retire(cts);
-        if (ccts->empty()) {
-          empty_bypasses_.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          ref_repairs_.fetch_add(1, std::memory_order_relaxed);
-        }
-      } else {
-        contents_t::destroy(repl);
-      }
-      return;
-    }
-
-    // (8c) duplicate-child elimination: adjacent equal references merge by
-    // dropping the element between them.  Forbidden on the first pair of a
-    // node (j == 0): a duplicate at the front is the signature of an
-    // in-flight element migration, and eliminating it races with
-    // suboptimal-reference repair through a stale pred_max (Sec. III-D).
-    const std::uint32_t len = cts->logical_len();
-    for (std::uint32_t j = 1; j + 1 < len && j < cts->nkeys; ++j) {
-      if (cts->children()[j] == cts->children()[j + 1]) {
-        contents_t* repl = contents_t::copy_drop_key_child(*cts, j);
-        if (cas_payload(nd, cts, repl)) {
-          retire(cts);
-          duplicate_drops_.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          contents_t::destroy(repl);
-        }
-        return;
-      }
-    }
-
-    // (8d) element migration: a routing child with a single element (or a
-    // two-element child whose references coincide, which 8c cannot touch)
-    // moves its rightmost element to its successor and empties out.
-    if (!ccts->leaf && ccts->link != nullptr && !ccts->inf) {
-      if (ccts->logical_len() == 1) {
-        migrate_element(child, ccts, 0);
-      } else if (ccts->logical_len() == 2 && ccts->nkeys == 2 &&
-                 ccts->children()[0] == ccts->children()[1]) {
-        migrate_element(child, ccts, 1);
-      }
-    }
-  }
-
-  /// Move (key[j], child[j]) of routing node `src` to the front of its
-  /// successor, then erase it from `src` (Fig. 8d).  The element exists in
-  /// both nodes between the two CASes; routing levels tolerate duplicates
-  /// (Theorem 1), so every intermediate state is consistent.  Both CASes
-  /// are best-effort: if the copy lands but the erase loses its race, the
-  /// stranded duplicate is compacted by a later pass.
-  void migrate_element(node_t* src, contents_t* scts, std::uint32_t j) {
-    node_t* succ = scts->link;
-    contents_t* succ_cts = load_payload(succ);
-    if (succ_cts->leaf || succ_cts->empty()) return;  // never grow an empty node
-    const T key = scts->keys()[j];
-    // Level order guarantees key <= min(successor); re-check against the
-    // snapshot so a racing restructure cannot break sortedness.
-    if (succ_cts->nkeys > 0 && cmp_(succ_cts->keys()[0], key)) return;
-    contents_t* grown =
-        contents_t::copy_prepend(*succ_cts, key, scts->children()[j]);
-    if (!cas_payload(succ, succ_cts, grown)) {
-      contents_t::destroy(grown);
-      return;
-    }
-    retire(succ_cts);
-    contents_t* shrunk = contents_t::copy_erase_key_own_child(*scts, j);
-    if (cas_payload(src, scts, shrunk)) {
-      retire(scts);
-      migrations_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      contents_t::destroy(shrunk);
-    }
-  }
-
-  // --- members --------------------------------------------------------------------
-
-  skip_tree_options opts_;
-  domain_t& domain_;
-  [[no_unique_address]] Compare cmp_;
-
-  alignas(kFalseSharingRange) std::atomic<head_t*> root_{nullptr};
-  alignas(kFalseSharingRange) std::atomic<node_t*> arena_{nullptr};
-  alignas(kFalseSharingRange) std::atomic<std::ptrdiff_t> size_{0};
-
-  std::atomic<std::uint64_t> cas_failures_{0};
-  std::atomic<std::uint64_t> splits_{0};
-  std::atomic<std::uint64_t> root_raises_{0};
-  std::atomic<std::uint64_t> empty_bypasses_{0};
-  std::atomic<std::uint64_t> ref_repairs_{0};
-  std::atomic<std::uint64_t> duplicate_drops_{0};
-  std::atomic<std::uint64_t> migrations_{0};
+  core_t core_;
 };
 
 }  // namespace lfst::skiptree

@@ -19,7 +19,8 @@
 namespace lfst::skiptree {
 
 template <typename K, typename V, typename Compare = std::less<K>,
-          typename Reclaim = reclaim::ebr_policy>
+          typename Reclaim = reclaim::ebr_policy,
+          typename Alloc = lfst::alloc::pool_policy>
 class skip_tree_map {
  public:
   using key_type = K;
@@ -38,7 +39,7 @@ class skip_tree_map {
     }
   };
 
-  using tree_t = skip_tree<entry, entry_compare, Reclaim>;
+  using tree_t = skip_tree<entry, entry_compare, Reclaim, Alloc>;
   using domain_t = typename Reclaim::domain_type;
 
   skip_tree_map() : skip_tree_map(skip_tree_options{}) {}

@@ -21,10 +21,12 @@
 namespace lfst::skiptree {
 
 template <typename T, typename Compare = std::less<T>,
-          typename Reclaim = reclaim::ebr_policy>
+          typename Reclaim = reclaim::ebr_policy,
+          typename Alloc = lfst::alloc::pool_policy>
 class skip_tree_pqueue {
  public:
   using value_type = T;
+  using tree_t = skip_tree<T, Compare, Reclaim, Alloc>;
   using domain_t = typename Reclaim::domain_type;
 
   skip_tree_pqueue() : skip_tree_pqueue(skip_tree_options{}) {}
@@ -54,12 +56,10 @@ class skip_tree_pqueue {
   bool empty() const noexcept { return tree_.empty(); }
   std::size_t size() const noexcept { return tree_.size(); }
 
-  const skip_tree<T, Compare, Reclaim>& underlying() const noexcept {
-    return tree_;
-  }
+  const tree_t& underlying() const noexcept { return tree_; }
 
  private:
-  skip_tree<T, Compare, Reclaim> tree_;
+  tree_t tree_;
 };
 
 }  // namespace lfst::skiptree

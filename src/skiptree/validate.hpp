@@ -64,10 +64,11 @@ struct validation_report {
 
 /// White-box access to a quiescent skip_tree for validation and tests.
 template <typename T, typename Compare = std::less<T>,
-          typename Reclaim = reclaim::ebr_policy>
+          typename Reclaim = reclaim::ebr_policy,
+          typename Alloc = lfst::alloc::pool_policy>
 class skip_tree_inspector {
  public:
-  using tree_t = skip_tree<T, Compare, Reclaim>;
+  using tree_t = skip_tree<T, Compare, Reclaim, Alloc>;
   using contents_t = typename tree_t::contents_t;
   using node_t = typename tree_t::node_t;
 
@@ -91,7 +92,7 @@ class skip_tree_inspector {
   /// Heap bytes held by the REACHABLE structure (payload blocks plus node
   /// headers); bypassed arena nodes are excluded.  Quiescent callers only.
   std::size_t live_bytes() const {
-    const auto* root = tree_.root_.load(std::memory_order_acquire);
+    const auto* root = tree_.core_.root.load(std::memory_order_acquire);
     std::size_t bytes = sizeof(typename tree_t::head_t);
     for (int level = root->height; level >= 0; --level) {
       for (const node_t* n : level_chain(level)) {
@@ -103,7 +104,7 @@ class skip_tree_inspector {
 
   /// Full structural validation (quiescent callers only).
   validation_report validate() const {
-    const auto* root = tree_.root_.load(std::memory_order_acquire);
+    const auto* root = tree_.core_.root.load(std::memory_order_acquire);
     validation_report rep = validate_raw(root->node, root->height);
     // Leaf population vs the size counter (exact when quiescent).
     const std::vector<T> leaf = level_keys(0);
@@ -145,7 +146,7 @@ class skip_tree_inspector {
   }
 
   std::vector<const node_t*> level_chain(int level) const {
-    const auto* root = tree_.root_.load(std::memory_order_acquire);
+    const auto* root = tree_.core_.root.load(std::memory_order_acquire);
     return chain_from(head_below(root->node, root->height, level));
   }
 

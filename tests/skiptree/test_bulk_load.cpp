@@ -1,6 +1,7 @@
 // Tests for bulk loading (from_sorted) and binary serialization.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <sstream>
 #include <vector>
 
@@ -77,6 +78,62 @@ TEST(SkipTreeBulkLoad, LargeLoadIsOptimalAndComplete) {
   }
   // Optimal packing: height ~ log_width(n).
   EXPECT_LE(t.height(), 4);
+}
+
+// Width boundaries: n = width^k and its neighbors exercise the "exactly
+// full last chunk", "one-key overflow chunk" and "level collapses to a
+// single node" corners of the bottom-up build.
+TEST(SkipTreeBulkLoad, WidthBoundarySizes) {
+  skip_tree_options o;
+  o.q_log2 = 3;  // width 8
+  const long width = 1L << o.q_log2;
+  std::vector<long> sizes{width - 1, width,         width + 1,
+                          2 * width, width * width, width * width - 1,
+                          width * width + 1};
+  for (long n : sizes) {
+    const auto keys = iota_keys(n);
+    auto t = skip_tree<long>::from_sorted(keys, o);
+    skip_tree_inspector<long> insp(t);
+    const auto rep = insp.validate();
+    ASSERT_TRUE(rep.ok) << "n=" << n << ": " << rep.to_string();
+    EXPECT_EQ(rep.empty_nodes, 0u) << "n=" << n;
+    EXPECT_EQ(rep.suboptimal_refs, 0u) << "n=" << n;
+    EXPECT_EQ(rep.nodes_per_level[0],
+              static_cast<std::size_t>((n + width - 1) / width))
+        << "n=" << n;
+    EXPECT_EQ(t.count_keys(), static_cast<std::size_t>(n)) << "n=" << n;
+    for (long k = 0; k < n; ++k) ASSERT_TRUE(t.contains(k)) << "n=" << n;
+    EXPECT_FALSE(t.contains(n)) << "n=" << n;
+    EXPECT_FALSE(t.contains(-1)) << "n=" << n;
+  }
+}
+
+// Exactly one leaf: the whole tree is the +inf terminator node's chain.
+TEST(SkipTreeBulkLoad, SingleChunkStaysHeightZero) {
+  skip_tree_options o;
+  o.q_log2 = 5;  // width 32
+  const auto keys = iota_keys(32);
+  auto t = skip_tree<long>::from_sorted(keys, o);
+  EXPECT_EQ(t.height(), 0);
+  EXPECT_TRUE(skip_tree_inspector<long>(t).validate().ok);
+  const auto keys2 = iota_keys(33);
+  auto t2 = skip_tree<long>::from_sorted(keys2, o);
+  EXPECT_GE(t2.height(), 1);
+  EXPECT_TRUE(skip_tree_inspector<long>(t2).validate().ok);
+}
+
+TEST(SkipTreeBulkLoad, EmptySpanEqualsDefaultConstruction) {
+  auto loaded = skip_tree<long>::from_sorted(std::span<const long>{});
+  skip_tree<long> fresh;
+  EXPECT_EQ(loaded.size(), fresh.size());
+  EXPECT_EQ(loaded.height(), fresh.height());
+  long out = 0;
+  EXPECT_FALSE(loaded.first(out));
+  EXPECT_FALSE(loaded.lower_bound(0, out));
+  // And it must be mutable like any fresh tree.
+  EXPECT_TRUE(loaded.add(7));
+  EXPECT_TRUE(loaded.contains(7));
+  EXPECT_TRUE(loaded.remove(7));
 }
 
 TEST(SkipTreeBulkLoad, TreeIsFullyMutableAfterLoad) {
