@@ -59,6 +59,7 @@
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/failpoint.hpp"
 
 namespace lfst::alloc {
 
@@ -85,6 +86,7 @@ struct alloc_counters {
 /// Baseline policy: the aligned global heap, no pooling, no counters.
 struct new_delete_policy {
   static void* allocate(std::size_t bytes, std::size_t align) {
+    LFST_FP_ALLOC("alloc.new_delete");
     return ::operator new(bytes, std::align_val_t{align});
   }
   static void deallocate(void* p, std::size_t bytes,
@@ -114,6 +116,7 @@ class pool {
   static constexpr std::size_t kBatch = 32;      // refill/spill batch size
 
   static void* allocate(std::size_t bytes, std::size_t align) {
+    LFST_FP_ALLOC("alloc.pool.allocate");
     tls_counters* tc = my_counters();
     if (tc != nullptr) ++tc->c.allocations;
     const std::size_t block = block_size(bytes, align);
@@ -143,16 +146,26 @@ class pool {
     }
     const int ci = class_index(block);
     tls_cache* c = my_cache();
+    // deallocate() is noexcept but the free-list vectors can themselves hit
+    // OOM growing; a block that cannot be recorded anywhere is dropped (a
+    // bounded leak under true heap exhaustion beats std::terminate).
     if (c == nullptr) {
       // Thread-local cache already retired (static-destruction-time
       // reclamation); hand the block straight to the shared list.
       size_class& sc = global().classes[ci];
       lock(sc);
-      sc.free_list.push_back(p);
+      try {
+        sc.free_list.push_back(p);
+      } catch (const std::bad_alloc&) {
+      }
       unlock(sc);
       return;
     }
-    c->free_lists[ci].push_back(p);
+    try {
+      c->free_lists[ci].push_back(p);
+    } catch (const std::bad_alloc&) {
+      return;
+    }
     if (c->free_lists[ci].size() > kCacheCap) spill(*c, ci);
   }
 
@@ -299,49 +312,81 @@ class pool {
     const std::size_t keep = list.size() - kBatch;
     size_class& sc = global().classes[ci];
     lock(sc);
-    sc.free_list.insert(sc.free_list.end(), list.begin() + keep, list.end());
+    try {
+      sc.free_list.insert(sc.free_list.end(), list.begin() + keep, list.end());
+    } catch (const std::bad_alloc&) {
+      // Shared list could not grow: keep the batch in the thread cache (it
+      // merely overshoots kCacheCap until the next successful spill).
+      unlock(sc);
+      return;
+    }
     unlock(sc);
     list.resize(keep);
   }
 
   /// Slow path: refill the thread cache (or serve directly when the cache
   /// is gone) from the shared free list, carving a fresh slab if needed.
+  ///
+  /// OOM-safe: a slab carve (or a free-list vector growth) that throws must
+  /// not escape with the class spinlock held, and must not fail the request
+  /// when blocks were already gathered.  The locked section is therefore
+  /// wrapped: on bad_alloc the lock is released, a partially-filled batch is
+  /// served as-is, and only a completely empty-handed refill rethrows.
   static void* refill_and_pop(int ci, std::size_t block, tls_cache* c,
                               tls_counters* tc) {
+    LFST_FP_ALLOC("alloc.pool.refill");
     size_class& sc = global().classes[ci];
     const std::size_t want = c != nullptr ? kBatch : 1;
     void* out = nullptr;
     std::size_t got = 0;
     bool reused = false;
     lock(sc);
-    while (got < want && !sc.free_list.empty()) {
-      void* p = sc.free_list.back();
-      sc.free_list.pop_back();
-      if (out == nullptr) {
-        out = p;
-      } else {
-        c->free_lists[ci].push_back(p);
+    try {
+      while (got < want && !sc.free_list.empty()) {
+        void* p = sc.free_list.back();
+        sc.free_list.pop_back();
+        if (out == nullptr) {
+          out = p;
+        } else {
+          c->free_lists[ci].push_back(p);
+        }
+        ++got;
+        reused = true;
       }
-      ++got;
-      reused = true;
-    }
-    while (got < want) {
-      if (sc.bump == nullptr ||
-          static_cast<std::size_t>(sc.bump_end - sc.bump) < block) {
-        auto* slab = static_cast<std::byte*>(
-            ::operator new(kSlabBytes, std::align_val_t{kMaxBlock}));
-        sc.slabs.push_back(slab);
-        sc.bump = slab;
-        sc.bump_end = slab + kSlabBytes;
+      while (got < want) {
+        if (sc.bump == nullptr ||
+            static_cast<std::size_t>(sc.bump_end - sc.bump) < block) {
+          auto* slab = static_cast<std::byte*>(
+              ::operator new(kSlabBytes, std::align_val_t{kMaxBlock}));
+          try {
+            sc.slabs.push_back(slab);
+          } catch (...) {
+            ::operator delete(slab, std::align_val_t{kMaxBlock});
+            throw;
+          }
+          sc.bump = slab;
+          sc.bump_end = slab + kSlabBytes;
+        }
+        void* p = sc.bump;
+        sc.bump += block;
+        if (out == nullptr) {
+          out = p;
+        } else {
+          c->free_lists[ci].push_back(p);
+        }
+        ++got;
       }
-      void* p = sc.bump;
-      sc.bump += block;
-      if (out == nullptr) {
-        out = p;
-      } else {
-        c->free_lists[ci].push_back(p);
+    } catch (const std::bad_alloc&) {
+      unlock(sc);
+      if (out == nullptr) throw;  // nothing gathered: the request fails
+      if (tc != nullptr) {
+        if (reused) {
+          ++tc->c.pool_hits;
+        } else {
+          ++tc->c.slab_carves;
+        }
       }
-      ++got;
+      return out;  // partial batch: the request itself still succeeds
     }
     unlock(sc);
     if (tc != nullptr) {

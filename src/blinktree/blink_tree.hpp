@@ -100,7 +100,15 @@ class blink_tree {
       n->lock.unlock();
       return false;
     }
-    n->keys.insert(it, v);
+    try {
+      // Within the reserved capacity this never allocates; a node grown past
+      // it by deferred splits may, and vector::insert's strong guarantee
+      // leaves the keys untouched on bad_alloc -- unlock and report failure.
+      n->keys.insert(it, v);
+    } catch (...) {
+      n->lock.unlock();
+      throw;
+    }
     size_.fetch_add(1, std::memory_order_relaxed);
     if (n->keys.size() <= 2 * opts_.min_node_size) {
       n->lock.unlock();
@@ -264,16 +272,19 @@ class blink_tree {
 
   /// Node headers come from the Alloc policy; the key/child vectors stay on
   /// the std allocator (they resize in place under the node's write lock).
+  /// The arena push happens before the vector reserves so that a bad_alloc
+  /// from either reserve cannot leak the header: the node is already owned
+  /// by the arena and gets freed with the tree.
   node* new_node(bool leaf, int level) {
     void* raw = Alloc::allocate(sizeof(node), alignof(node));
     node* n = new (raw) node(leaf, level);
-    n->keys.reserve(2 * opts_.min_node_size + 1);
-    if (!leaf) n->children.reserve(2 * opts_.min_node_size + 2);
     n->arena_next = arena_.load(std::memory_order_relaxed);
     while (!arena_.compare_exchange_weak(n->arena_next, n,
                                          std::memory_order_release,
                                          std::memory_order_relaxed)) {
     }
+    n->keys.reserve(2 * opts_.min_node_size + 1);
+    if (!leaf) n->children.reserve(2 * opts_.min_node_size + 2);
     return n;
   }
 
@@ -349,6 +360,15 @@ class blink_tree {
 
   /// Split the write-locked, overfull node `n` and insert the separator in
   /// its parent, cascading as required.  Consumes (releases) `n`'s lock.
+  ///
+  /// OOM contract: all allocations for a step -- the right sibling, the
+  /// prospective new root, and the copies into them -- happen BEFORE any
+  /// mutation of `n`, so a bad_alloc simply abandons the split: the node
+  /// stays overfull but fully valid (lazy splitting; a later overflow
+  /// retries), and the held lock is released rather than leaked.  After
+  /// publication nothing can fail except the parent's separator insert,
+  /// which is safe to skip entirely: descents recover over the right link
+  /// (Lehman-Yao's move-right), the parent merely stays imprecise.
   void split_and_propagate(node* n) {
     for (;;) {
       // Partition: left keeps the lower half and becomes bounded by the new
@@ -357,40 +377,54 @@ class blink_tree {
       // <= keys[i], so a leaf separator is the left half's max key, and an
       // internal split promotes the middle separator upward.
       const std::size_t mid = n->keys.size() / 2;
-      node* right = new_node(n->leaf, n->level);
+      const int parent_level = n->level + 1;
+      const bool was_root = (root_.load(std::memory_order_acquire) == n);
+      node* right;
+      node* new_root = nullptr;
+      T separator;
+      try {
+        right = new_node(n->leaf, n->level);
+        if (was_root) {
+          // Speculative: if another thread grows the tree first, this node
+          // goes unused and is reclaimed with the arena.
+          new_root = new_node(/*leaf=*/false, parent_level);
+        }
+        if (n->leaf) {
+          right->keys.assign(
+              n->keys.begin() + static_cast<std::ptrdiff_t>(mid),
+              n->keys.end());
+          separator = n->keys[mid - 1];
+        } else {
+          separator = n->keys[mid];
+          right->keys.assign(
+              n->keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+              n->keys.end());
+          right->children.assign(
+              n->children.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+              n->children.end());
+        }
+      } catch (const std::bad_alloc&) {
+        n->lock.unlock();
+        return;  // split deferred; n untouched and still valid
+      }
       right->has_high = n->has_high;
       right->high = n->high;
       right->link = n->link;
-      T separator;
       if (n->leaf) {
-        right->keys.assign(n->keys.begin() + static_cast<std::ptrdiff_t>(mid),
-                           n->keys.end());
-        separator = n->keys[mid - 1];
         n->keys.resize(mid);
       } else {
-        separator = n->keys[mid];
-        right->keys.assign(
-            n->keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
-            n->keys.end());
-        right->children.assign(
-            n->children.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
-            n->children.end());
         n->keys.resize(mid);
         n->children.resize(mid + 1);
       }
       n->link = right;
       n->has_high = true;
       n->high = separator;
-
-      const int parent_level = n->level + 1;
-      const bool was_root = (root_.load(std::memory_order_acquire) == n);
       n->lock.unlock();
 
       // Insert (separator -> right) into the parent level.
       if (was_root) {
         std::lock_guard<std::mutex> g(root_mutex_);
         if (root_.load(std::memory_order_acquire) == n) {
-          node* new_root = new_node(/*leaf=*/false, parent_level);
           new_root->keys.push_back(separator);
           new_root->children.push_back(n);
           new_root->children.push_back(right);
@@ -402,8 +436,18 @@ class blink_tree {
       node* parent = descend_to_level(separator, parent_level);
       parent = write_lock_covering(parent, separator);
       const std::size_t idx = child_index(parent, separator);
-      parent->keys.insert(parent->keys.begin() + static_cast<std::ptrdiff_t>(idx),
-                          separator);
+      try {
+        // Reserve both vectors up front so the two inserts below cannot
+        // fail between each other and leave keys/children out of step.
+        parent->keys.reserve(parent->keys.size() + 1);
+        parent->children.reserve(parent->children.size() + 1);
+      } catch (const std::bad_alloc&) {
+        parent->lock.unlock();
+        return;  // half-split: right stays reachable via n's link
+      }
+      parent->keys.insert(
+          parent->keys.begin() + static_cast<std::ptrdiff_t>(idx),
+          separator);
       parent->children.insert(
           parent->children.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
           right);

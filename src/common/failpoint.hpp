@@ -1,0 +1,327 @@
+// Failpoint injection: named fault sites compiled into the hot paths.
+//
+// The paper's algorithm tolerates arbitrary thread delays, but its JVM
+// artifact never sees a failed allocation or a widened CAS window -- the
+// garbage-collected heap neither throws mid-mutation nor recycles addresses.
+// The native port must survive both, and the literature on practical
+// lock-free structures (Brown's thesis on reclamation; Chatterjee et al.'s
+// validation of lock-free BSTs by deliberately widening CAS windows) is
+// unambiguous that the allocation-failure and read-to-CAS windows are where
+// implementations actually break.  This header provides the instrument: a
+// registry of *named sites* threaded through the allocator, the reclamation
+// domain, and the skip-tree mutation paths, each of which can be armed at
+// runtime with a policy that injects one of three faults:
+//
+//   * allocation failure  -- an ALLOC site throws std::bad_alloc exactly as
+//     a real exhausted heap would, exercising the OOM-hardening contract
+//     (DESIGN.md "Failpoints & OOM hardening");
+//   * delay               -- any site yields or sleeps, widening the window
+//     between a payload read and its CAS so that races too narrow to hit
+//     naturally occur on demand;
+//   * spurious CAS failure -- a CAS site reports failure without attempting
+//     the exchange, driving every retry loop through its recovery path.
+//
+// Zero cost when disabled.  All three site macros compile to nothing
+// (`((void)0)` / constant `false`) unless LFST_FAILPOINTS is defined, so
+// release binaries carry no trace of the instrumentation -- no branch, no
+// registry, no string.  The chaos suite (tests/chaos/) and the
+// `-DLFST_FAILPOINTS=ON` CI job are the intended consumers.
+//
+// Firing model.  Each site keeps a hit counter; a policy gates firing on
+// hit counts (skip the first `skip_first` hits, then arm every
+// `fire_every`-th), on a probability, on a thread subset (bit `tid % 64` of
+// `thread_bits`), and on a total-fires cap.  The count gates make unit
+// tests deterministic ("fail exactly the 3rd allocation, once"); the
+// probability gate drives randomized chaos schedules.
+//
+// Concurrency.  Arm/disarm take a mutex; the hot path reads the armed
+// policy through relaxed atomics and never locks.  A site reference
+// obtained once is stable for the process lifetime (the registry is a leaky
+// singleton of node-stable storage), so each macro expansion caches its
+// lookup in a function-local static.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lfst::failpoint {
+
+/// What an armed site does when the gates let a hit through.
+enum class action : std::uint8_t {
+  off = 0,    ///< disarmed (the default); the site never fires
+  fail = 1,   ///< ALLOC site: throw bad_alloc; CAS site: report spurious failure
+  yield = 2,  ///< call std::this_thread::yield() `delay_iters` times
+  sleep = 3,  ///< sleep for `delay_us` microseconds
+};
+
+/// Per-site firing policy.  All gates compose: a hit fires only if it
+/// passes the count gate, the thread gate, the probability gate, and the
+/// total-fires cap, in that order.
+struct policy {
+  action act = action::off;
+  std::uint64_t skip_first = 0;    ///< ignore this many hits before arming
+  std::uint64_t fire_every = 1;    ///< then arm every k-th hit (1 = every)
+  std::uint64_t max_fires = 0;     ///< stop after this many fires (0 = never)
+  double probability = 1.0;        ///< chance an armed hit actually fires
+  std::uint64_t thread_bits = ~std::uint64_t{0};  ///< bit (tid % 64) must be set
+  std::uint32_t delay_iters = 8;   ///< yields per fire (action::yield)
+  std::uint32_t delay_us = 50;     ///< microseconds per fire (action::sleep)
+};
+
+/// One named injection site.  Hot-path state only; the name lives in the
+/// registry.  Fields mirror `policy` as relaxed atomics so configure/read
+/// never tear.
+class site {
+ public:
+  /// Evaluate one hit at an ALLOC site.  Returns true when the caller must
+  /// throw std::bad_alloc; performs the delay itself for delay actions.
+  bool fire_alloc() noexcept {
+    const action a = evaluate();
+    if (a == action::fail) return true;
+    delay_if(a);
+    return false;
+  }
+
+  /// Evaluate one hit at a CAS site.  Returns true when the caller must
+  /// treat its CAS as spuriously failed (without attempting it).
+  bool fire_cas() noexcept {
+    const action a = evaluate();
+    if (a == action::fail) return true;
+    delay_if(a);
+    return false;
+  }
+
+  /// Evaluate one hit at a plain (delay-only) site.  `fail` policies are
+  /// inert here: the site has no failure to inject.
+  void fire_point() noexcept { delay_if(evaluate()); }
+
+  void configure(const policy& p) noexcept {
+    act_.store(static_cast<std::uint8_t>(p.act), std::memory_order_relaxed);
+    skip_first_.store(p.skip_first, std::memory_order_relaxed);
+    fire_every_.store(p.fire_every == 0 ? 1 : p.fire_every,
+                      std::memory_order_relaxed);
+    max_fires_.store(p.max_fires, std::memory_order_relaxed);
+    // Probability scaled to a 32-bit threshold; >= 1.0 short-circuits.
+    double p01 = p.probability;
+    if (p01 < 0.0) p01 = 0.0;
+    const std::uint64_t scaled =
+        p01 >= 1.0 ? (std::uint64_t{1} << 32)
+                   : static_cast<std::uint64_t>(p01 * 4294967296.0);
+    prob_threshold_.store(scaled, std::memory_order_relaxed);
+    thread_bits_.store(p.thread_bits, std::memory_order_relaxed);
+    delay_iters_.store(p.delay_iters, std::memory_order_relaxed);
+    delay_us_.store(p.delay_us, std::memory_order_relaxed);
+  }
+
+  void disarm() noexcept {
+    act_.store(static_cast<std::uint8_t>(action::off),
+               std::memory_order_relaxed);
+  }
+
+  void reset_counters() noexcept {
+    hits_.store(0, std::memory_order_relaxed);
+    fires_.store(0, std::memory_order_relaxed);
+    permits_.store(0, std::memory_order_relaxed);
+  }
+
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fires() const noexcept {
+    return fires_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Run the gate chain for one hit; returns the action to perform
+  /// (action::off when the hit does not fire).
+  action evaluate() noexcept {
+    const auto a =
+        static_cast<action>(act_.load(std::memory_order_relaxed));
+    if (a == action::off) return action::off;  // disarmed fast path
+    const std::uint64_t h = hits_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t skip = skip_first_.load(std::memory_order_relaxed);
+    if (h < skip) return action::off;
+    if ((h - skip) % fire_every_.load(std::memory_order_relaxed) != 0) {
+      return action::off;
+    }
+    const std::uint64_t bits = thread_bits_.load(std::memory_order_relaxed);
+    if (((bits >> (thread_index() % 64)) & 1u) == 0) return action::off;
+    const std::uint64_t thresh =
+        prob_threshold_.load(std::memory_order_relaxed);
+    if (thresh < (std::uint64_t{1} << 32) &&
+        (thread_rng().next() >> 32) >= thresh) {
+      return action::off;
+    }
+    const std::uint64_t cap = max_fires_.load(std::memory_order_relaxed);
+    if (cap != 0) {
+      // The fetch_add is the permit: exactly `cap` hits get one.
+      if (permits_.fetch_add(1, std::memory_order_relaxed) >= cap) {
+        return action::off;
+      }
+    }
+    fires_.fetch_add(1, std::memory_order_relaxed);
+    return a;
+  }
+
+  void delay_if(action a) noexcept {
+    if (a == action::yield) {
+      const std::uint32_t n = delay_iters_.load(std::memory_order_relaxed);
+      for (std::uint32_t i = 0; i < n; ++i) std::this_thread::yield();
+    } else if (a == action::sleep) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          delay_us_.load(std::memory_order_relaxed)));
+    }
+  }
+
+  static std::uint64_t thread_index() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    thread_local const std::uint64_t idx =
+        counter.fetch_add(1, std::memory_order_relaxed);
+    return idx;
+  }
+
+  static xoshiro256ss& thread_rng() noexcept {
+    thread_local xoshiro256ss rng{
+        thread_seed(0x5fa1fa17u, thread_index())};
+    return rng;
+  }
+
+  std::atomic<std::uint8_t> act_{0};
+  std::atomic<std::uint64_t> skip_first_{0};
+  std::atomic<std::uint64_t> fire_every_{1};
+  std::atomic<std::uint64_t> max_fires_{0};
+  std::atomic<std::uint64_t> prob_threshold_{std::uint64_t{1} << 32};
+  std::atomic<std::uint64_t> thread_bits_{~std::uint64_t{0}};
+  std::atomic<std::uint32_t> delay_iters_{8};
+  std::atomic<std::uint32_t> delay_us_{50};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> fires_{0};
+  std::atomic<std::uint64_t> permits_{0};
+};
+
+/// Process-wide site registry.  Site references are node-stable for the
+/// process lifetime; the singleton leaks so failpoints stay usable from
+/// static-destruction-time code (matching the pool and EBR global domain).
+class registry {
+ public:
+  static registry& instance() {
+    static registry* r = new registry;
+    return *r;
+  }
+
+  /// The site named `name`, created on first use.  The returned reference
+  /// never moves or dies.
+  site& at(std::string_view name) {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& e : sites_) {
+      if (e->name == name) return e->s;
+    }
+    sites_.push_back(std::make_unique<named_site>(std::string(name)));
+    return sites_.back()->s;
+  }
+
+  void configure(std::string_view name, const policy& p) {
+    at(name).configure(p);
+  }
+
+  /// Disarm every site and zero its counters (chaos runs call this between
+  /// schedules so fire counts are per-schedule).
+  void reset_all() {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& e : sites_) {
+      e->s.disarm();
+      e->s.reset_counters();
+    }
+  }
+
+  std::uint64_t fires(std::string_view name) { return at(name).fires(); }
+  std::uint64_t hits(std::string_view name) { return at(name).hits(); }
+
+  /// Names of all sites ever referenced (diagnostics / schedule printing).
+  std::vector<std::string> names() {
+    std::lock_guard<std::mutex> g(mu_);
+    std::vector<std::string> out;
+    out.reserve(sites_.size());
+    for (const auto& e : sites_) out.push_back(e->name);
+    return out;
+  }
+
+ private:
+  registry() = default;
+
+  struct named_site {
+    explicit named_site(std::string n) : name(std::move(n)) {}
+    std::string name;
+    site s;
+  };
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<named_site>> sites_;
+};
+
+/// RAII arm/disarm for tests: configures `name` on construction, disarms on
+/// destruction (counters are left readable for assertions).
+class scoped_failpoint {
+ public:
+  scoped_failpoint(std::string_view name, const policy& p)
+      : site_(&registry::instance().at(name)) {
+    site_->reset_counters();
+    site_->configure(p);
+  }
+  ~scoped_failpoint() { site_->disarm(); }
+  scoped_failpoint(const scoped_failpoint&) = delete;
+  scoped_failpoint& operator=(const scoped_failpoint&) = delete;
+
+  site& get() noexcept { return *site_; }
+
+ private:
+  site* site_;
+};
+
+}  // namespace lfst::failpoint
+
+// --- site macros -------------------------------------------------------------
+//
+// Each expansion caches its registry lookup in a function-local static
+// (thread-safe once-init), so an armed-off site costs one relaxed load.
+// The lambda gives every expansion a distinct static even inside templates.
+
+#if defined(LFST_FAILPOINTS)
+
+#define LFST_FP_SITE_(name)                                          \
+  (*([]() -> ::lfst::failpoint::site* {                              \
+    static ::lfst::failpoint::site* lfst_fp_cached =                 \
+        &::lfst::failpoint::registry::instance().at(name);           \
+    return lfst_fp_cached;                                           \
+  }()))
+
+/// ALLOC site: throws std::bad_alloc when armed with action::fail.
+#define LFST_FP_ALLOC(name)                                          \
+  do {                                                               \
+    if (LFST_FP_SITE_(name).fire_alloc()) throw std::bad_alloc{};    \
+  } while (0)
+
+/// CAS site: evaluates to true when the caller must treat its CAS as
+/// spuriously failed.  Delay actions delay and evaluate to false.
+#define LFST_FP_CAS(name) (LFST_FP_SITE_(name).fire_cas())
+
+/// Plain delay site.
+#define LFST_FP_POINT(name) (LFST_FP_SITE_(name).fire_point())
+
+#else  // !LFST_FAILPOINTS: every site compiles to nothing.
+
+#define LFST_FP_ALLOC(name) ((void)0)
+#define LFST_FP_CAS(name) (false)
+#define LFST_FP_POINT(name) ((void)0)
+
+#endif  // LFST_FAILPOINTS

@@ -27,10 +27,12 @@
 #include <cassert>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <unordered_set>
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/failpoint.hpp"
 #include "reclaim/retired.hpp"
 
 namespace lfst::reclaim {
@@ -106,6 +108,7 @@ class ebr_domain {
   }
 
   void retire(retired_block b) {
+    LFST_FP_POINT("ebr.retire");
     detail::ebr_slot& s = my_slot();
     assert(s.depth > 0 && "retire() requires an active ebr_domain::guard");
     // Tag the garbage with the CURRENT global epoch, not the pinned one.
@@ -171,10 +174,28 @@ class ebr_domain {
       if (reg.entries[i].domain == this && reg.entries[i].domain_id == id_)
         return *reg.entries[i].slot;
     }
-    assert(reg.count < tls_registry::kCapacity &&
-           "thread uses too many distinct ebr domains");
+    std::size_t at = reg.count;
+    if (at == tls_registry::kCapacity) {
+      // Full: entries for since-destroyed domains are dead weight -- their
+      // slots died with the domain.  Reuse the first such entry; only if
+      // every tracked domain is still alive is the thread genuinely over
+      // the limit, and that must be a hard error in every build mode (an
+      // NDEBUG-stripped assert here would be an out-of-bounds write).
+      std::lock_guard<std::mutex> g(live_registry().mu);
+      for (std::size_t i = 0; i < reg.count; ++i) {
+        if (live_registry().ids.count(reg.entries[i].domain_id) == 0) {
+          at = i;
+          break;
+        }
+      }
+      if (at == tls_registry::kCapacity) {
+        throw std::length_error(
+            "ebr_domain: thread holds slots in more than 8 live domains");
+      }
+    }
     detail::ebr_slot& s = acquire_slot();
-    reg.entries[reg.count++] = {this, id_, &s};
+    reg.entries[at] = {this, id_, &s};
+    if (at == reg.count) ++reg.count;
     return s;
   }
 
@@ -209,8 +230,8 @@ class ebr_domain {
         return slots_[i];
       }
     }
-    assert(false && "ebr_domain: more than kMaxThreads concurrent threads");
-    std::abort();
+    throw std::length_error(
+        "ebr_domain: more than kMaxThreads concurrent threads");
   }
 
   /// Thread-exit hook: unpin and return every held slot.  Limbo blocks stay
@@ -247,6 +268,7 @@ class ebr_domain {
     if (s.depth++ > 0) return;  // re-entrant guard
     std::uint64_t g = global_epoch_.load(std::memory_order_relaxed);
     for (;;) {
+      LFST_FP_POINT("ebr.pin");
       s.epoch.store(g, std::memory_order_relaxed);
       // The fence orders the epoch publication before any structure read,
       // and pairs with the advancer's seq_cst accesses: an advancer that
@@ -270,6 +292,7 @@ class ebr_domain {
 
   /// Advance the global epoch if every pinned thread has observed it.
   bool try_advance() {
+    LFST_FP_POINT("ebr.advance");
     const std::uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
     const std::size_t n = high_water_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < n; ++i) {

@@ -35,6 +35,7 @@
 
 #include "alloc/pool.hpp"
 #include "common/align.hpp"
+#include "common/failpoint.hpp"
 #include "reclaim/retired.hpp"
 
 namespace lfst::skiptree {
@@ -113,6 +114,7 @@ struct contents {
   template <typename Alloc = lfst::alloc::new_delete_policy>
   static contents* allocate(std::uint32_t nkeys, bool inf, bool leaf,
                             node_t* link) {
+    LFST_FP_ALLOC("skiptree.alloc.contents");
     const std::size_t bytes = total_size(nkeys, inf, leaf);
     void* raw = Alloc::allocate(bytes, alloc_align());
     auto* c = new (raw) contents;

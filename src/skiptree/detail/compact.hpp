@@ -35,14 +35,23 @@ struct compact_ops {
   using head_t = typename Core::head_t;
   using search = typename Core::search;
 
-  /// The remove() driver.  Returns false iff `v` was absent.
+  /// The remove() driver.  Returns false iff `v` was absent.  OOM contract:
+  /// compaction failures along the way are skipped (compaction is optional
+  /// optimality repair); only the leaf-erase allocation itself can make the
+  /// call fail, and then the set is unchanged (strong guarantee).
   static bool remove(Core& core, const T& v) {
     search s = traverse_and_cleanup(core, v);
     backoff bo;
     for (;;) {
       if (s.index < 0) return false;  // linearized at the leaf payload read
-      contents_t* repl = contents_t::template copy_leaf_erase<Alloc>(
-          *s.cts, static_cast<std::uint32_t>(s.index));
+      contents_t* repl;
+      try {
+        repl = contents_t::template copy_leaf_erase<Alloc>(
+            *s.cts, static_cast<std::uint32_t>(s.index));
+      } catch (const std::bad_alloc&) {
+        core.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+        throw;
+      }
       if (core.cas_payload(s.node, s.cts, repl)) {
         // Linearization point of a successful remove.
         core.retire(s.cts);
@@ -100,8 +109,21 @@ struct compact_ops {
       assert(next != nullptr);
       contents_t* ncts = Core::load_payload(next);
       if (!ncts->empty()) return next;
-      contents_t* repl =
-          contents_t::template copy_with_link<Alloc>(*cts, ncts->link);
+      contents_t* repl;
+      try {
+        repl = contents_t::template copy_with_link<Alloc>(*cts, ncts->link);
+      } catch (const std::bad_alloc&) {
+        // Can't afford the repair: step over empty nodes the wait-free way
+        // (exactly what readers do) and leave the bypass to a later pass.
+        core.compactions_skipped.fetch_add(1, std::memory_order_relaxed);
+        for (;;) {
+          if (!ncts->empty()) return next;
+          next = ncts->link;
+          assert(next != nullptr);
+          ncts = Core::load_payload(next);
+        }
+      }
+      LFST_FP_POINT("skiptree.compact.8a");
       if (core.cas_payload(nd, cts, repl)) {
         core.retire(cts);
         core.empty_bypasses.fetch_add(1, std::memory_order_relaxed);
@@ -139,8 +161,15 @@ struct compact_ops {
     }
     if (bypass) {
       assert(ccts->link != nullptr);
-      contents_t* repl =
-          contents_t::template copy_with_child<Alloc>(*cts, idx, ccts->link);
+      contents_t* repl;
+      try {
+        repl =
+            contents_t::template copy_with_child<Alloc>(*cts, idx, ccts->link);
+      } catch (const std::bad_alloc&) {
+        core.compactions_skipped.fetch_add(1, std::memory_order_relaxed);
+        return;  // repair is optional; the descent recovers over links
+      }
+      LFST_FP_POINT("skiptree.compact.8b");
       if (core.cas_payload(nd, cts, repl)) {
         core.retire(cts);
         if (ccts->empty()) {
@@ -162,8 +191,14 @@ struct compact_ops {
     const std::uint32_t len = cts->logical_len();
     for (std::uint32_t j = 1; j + 1 < len && j < cts->nkeys; ++j) {
       if (cts->children()[j] == cts->children()[j + 1]) {
-        contents_t* repl =
-            contents_t::template copy_drop_key_child<Alloc>(*cts, j);
+        contents_t* repl;
+        try {
+          repl = contents_t::template copy_drop_key_child<Alloc>(*cts, j);
+        } catch (const std::bad_alloc&) {
+          core.compactions_skipped.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        LFST_FP_POINT("skiptree.compact.8c");
         if (core.cas_payload(nd, cts, repl)) {
           core.retire(cts);
           core.duplicate_drops.fetch_add(1, std::memory_order_relaxed);
@@ -202,15 +237,30 @@ struct compact_ops {
     // Level order guarantees key <= min(successor); re-check against the
     // snapshot so a racing restructure cannot break sortedness.
     if (succ_cts->nkeys > 0 && core.cmp(succ_cts->keys()[0], key)) return;
-    contents_t* grown = contents_t::template copy_prepend<Alloc>(
-        *succ_cts, key, scts->children()[j]);
+    contents_t* grown;
+    try {
+      grown = contents_t::template copy_prepend<Alloc>(
+          *succ_cts, key, scts->children()[j]);
+    } catch (const std::bad_alloc&) {
+      core.compactions_skipped.fetch_add(1, std::memory_order_relaxed);
+      return;  // migration not started; nothing to undo
+    }
+    LFST_FP_POINT("skiptree.compact.8d");
     if (!core.cas_payload(succ, succ_cts, grown)) {
       Core::destroy(grown);
       return;
     }
     core.retire(succ_cts);
-    contents_t* shrunk =
-        contents_t::template copy_erase_key_own_child<Alloc>(*scts, j);
+    contents_t* shrunk;
+    try {
+      shrunk = contents_t::template copy_erase_key_own_child<Alloc>(*scts, j);
+    } catch (const std::bad_alloc&) {
+      // The copy landed but the erase can't be built: the element now exists
+      // in both nodes, which routing levels tolerate (Theorem 1); a later
+      // pass finishes the job.
+      core.compactions_skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     if (core.cas_payload(src, scts, shrunk)) {
       core.retire(scts);
       core.migrations.fetch_add(1, std::memory_order_relaxed);

@@ -37,6 +37,7 @@
 
 #include "alloc/pool.hpp"
 #include "common/align.hpp"
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 #include "reclaim/ebr.hpp"
 #include "skiptree/contents.hpp"
@@ -94,6 +95,8 @@ struct tree_core {
   std::atomic<std::uint64_t> ref_repairs{0};
   std::atomic<std::uint64_t> duplicate_drops{0};
   std::atomic<std::uint64_t> migrations{0};
+  std::atomic<std::uint64_t> alloc_failures{0};
+  std::atomic<std::uint64_t> compactions_skipped{0};
 
   // --- lifecycle -------------------------------------------------------------
 
@@ -145,6 +148,12 @@ struct tree_core {
   }
 
   bool cas_payload(node_t* n, contents_t*& expected, contents_t* desired) {
+    if (LFST_FP_CAS("skiptree.cas.payload")) {
+      // Spurious failure: mimic compare_exchange semantics by reloading the
+      // observed value into `expected` so caller retry loops stay correct.
+      expected = n->payload.load(std::memory_order_acquire);
+      return false;
+    }
     return n->payload.compare_exchange_strong(
         expected, desired, std::memory_order_acq_rel,
         std::memory_order_acquire);
@@ -191,8 +200,17 @@ struct tree_core {
   }
 
   /// Allocate a node owning payload `c` and push it onto the arena list.
+  /// Takes ownership of `c`: if the node header allocation fails, the
+  /// (unpublished) payload is destroyed here before the error propagates.
   node_t* alloc_node(contents_t* c) {
-    void* raw = Alloc::allocate(sizeof(node_t), alignof(node_t));
+    void* raw;
+    try {
+      LFST_FP_ALLOC("skiptree.alloc.node");
+      raw = Alloc::allocate(sizeof(node_t), alignof(node_t));
+    } catch (...) {
+      destroy(c);
+      throw;
+    }
     node_t* n = new (raw) node_t;
     n->payload.store(c, std::memory_order_relaxed);
     n->arena_next = arena.load(std::memory_order_relaxed);

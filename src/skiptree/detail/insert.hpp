@@ -35,27 +35,55 @@ struct insert_ops {
   /// The add() driver: insert at the leaf, then raise.  Returns false iff
   /// `v` was already present (the unsuccessful case is linearized at the
   /// leaf payload read that finds v; the successful case at the leaf CAS).
+  ///
+  /// OOM contract (strong guarantee): an allocation failure before the leaf
+  /// CAS propagates with the tree untouched; a failure after it (the raise
+  /// phase) is swallowed -- the element is already a member, so add()
+  /// reports success and merely leaves the element shorter than its drawn
+  /// height, which relaxed optimality (D5) tolerates.
   static bool add(Core& core, const T& v, int height) {
     assert(height >= 0 && height <= core.opts.max_height);
     std::array<search, Core::kMaxHeightLimit + 1> srchs;
-    traverse_and_track(core, v, height, srchs.data());
-    if (!insert_list(core, v, srchs.data(), nullptr, 0)) return false;
+    height = traverse_and_track(core, v, height, srchs.data());
+    try {
+      if (!insert_list(core, v, srchs.data(), nullptr, 0)) return false;
+    } catch (const std::bad_alloc&) {
+      core.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+      throw;  // pre-linearization: the set is unchanged
+    }
     core.size.fetch_add(1, std::memory_order_relaxed);
-    for (int lvl = 0; lvl < height; ++lvl) {
-      node_t* right = split_list(core, v, srchs[lvl]);
-      if (right == nullptr) break;  // v vanished at lvl (concurrent remove)
-      if (!insert_list(core, v, srchs.data(), right, lvl + 1)) break;
+    try {
+      for (int lvl = 0; lvl < height; ++lvl) {
+        node_t* right = split_list(core, v, srchs[lvl]);
+        if (right == nullptr) break;  // v vanished at lvl (concurrent remove)
+        if (!insert_list(core, v, srchs.data(), right, lvl + 1)) break;
+      }
+    } catch (const std::bad_alloc&) {
+      // Post-linearization: v is in the set and cannot be un-added.  Stop
+      // raising; the tree stays valid (splits/copies either published fully
+      // or not at all) and only optimality degrades.
+      core.alloc_failures.fetch_add(1, std::memory_order_relaxed);
     }
     return true;
   }
 
   /// Root-to-leaf traversal that records, for every level at or below `h`,
   /// the node where `v` belongs (the insertion hints consumed by
-  /// insert_list / split_list).
-  static void traverse_and_track(Core& core, const T& v, int h,
-                                 search* srchs) {
+  /// insert_list / split_list).  Returns the effective height: if growing
+  /// the root ran out of memory the requested height is clamped to what the
+  /// tree actually offers, so add() never reads an untracked hint.
+  static int traverse_and_track(Core& core, const T& v, int h,
+                                search* srchs) {
     const head_t* head = core.root.load(std::memory_order_acquire);
-    if (head->height < h) head = increase_root_height(core, h);
+    if (head->height < h) {
+      try {
+        head = increase_root_height(core, h);
+      } catch (const std::bad_alloc&) {
+        core.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+        head = core.root.load(std::memory_order_acquire);
+      }
+    }
+    if (h > head->height) h = head->height;
     int level = head->height;
     node_t* nd = head->node;
     for (;;) {
@@ -67,7 +95,7 @@ struct insert_ops {
         if (level <= h) {
           srchs[level] = search{nd, cts, i};
         }
-        if (level == 0) return;
+        if (level == 0) return h;
         nd = cts->children()[Core::descend_index(i)];
         --level;
       }
@@ -86,6 +114,7 @@ struct insert_ops {
           /*inf=*/true, /*link=*/nullptr);
       node_t* top = core.alloc_node(c);
       head_t* grown = new head_t{top, head->height + 1};
+      LFST_FP_POINT("skiptree.root.raise");
       if (core.root.compare_exchange_strong(head, grown,
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
@@ -131,6 +160,7 @@ struct insert_ops {
               ? contents_t::template copy_leaf_insert<Alloc>(*cts, pos, v)
               : contents_t::template copy_routing_insert<Alloc>(*cts, pos, v,
                                                                 right_child);
+      LFST_FP_POINT("skiptree.insert.publish");
       if (core.cas_payload(nd, cts, repl)) {
         core.retire(cts);
         s = search{nd, repl, static_cast<int>(pos)};
@@ -184,6 +214,7 @@ struct insert_ops {
       }
       contents_t* left =
           contents_t::template copy_split_left<Alloc>(*cts, pos, rnode);
+      LFST_FP_POINT("skiptree.split.publish");
       if (core.cas_payload(nd, cts, left)) {
         core.retire(cts);
         core.splits.fetch_add(1, std::memory_order_relaxed);
@@ -199,14 +230,21 @@ struct insert_ops {
 
   /// Overwrite the stored element order-equivalent to `v` with `v` itself.
   /// Returns false iff no equivalent element is present; linearizes at the
-  /// leaf CAS (success) or leaf payload read (failure).
+  /// leaf CAS (success) or leaf payload read (failure).  OOM before the CAS
+  /// propagates with the stored element intact (strong guarantee).
   static bool replace(Core& core, const T& v) {
     search s = core.move_forward_from_root(v);
     backoff bo;
     for (;;) {
       if (s.index < 0) return false;
-      contents_t* repl = contents_t::template copy_leaf_assign<Alloc>(
-          *s.cts, static_cast<std::uint32_t>(s.index), v);
+      contents_t* repl;
+      try {
+        repl = contents_t::template copy_leaf_assign<Alloc>(
+            *s.cts, static_cast<std::uint32_t>(s.index), v);
+      } catch (const std::bad_alloc&) {
+        core.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+        throw;
+      }
       if (core.cas_payload(s.node, s.cts, repl)) {
         core.retire(s.cts);
         return true;

@@ -37,6 +37,7 @@ struct traverse_ops {
     const contents_t* cts = Core::load_payload(nd);
     i = core.search_keys(*cts, v);
     while (!cts->leaf) {
+      LFST_FP_POINT("skiptree.traverse.step");
       nd = Core::is_past_end(i, *cts) ? cts->link
                                       : cts->children()[Core::descend_index(i)];
       cts = Core::load_payload(nd);

@@ -235,6 +235,8 @@ class skip_tree {
     std::uint64_t ref_repairs = 0;
     std::uint64_t duplicate_drops = 0;
     std::uint64_t migrations = 0;
+    std::uint64_t alloc_failures = 0;      ///< bad_alloc seen by a mutation
+    std::uint64_t compactions_skipped = 0; ///< repairs abandoned under OOM
   };
 
   structural_stats stats() const noexcept {
@@ -244,7 +246,9 @@ class skip_tree {
             core_.empty_bypasses.load(std::memory_order_relaxed),
             core_.ref_repairs.load(std::memory_order_relaxed),
             core_.duplicate_drops.load(std::memory_order_relaxed),
-            core_.migrations.load(std::memory_order_relaxed)};
+            core_.migrations.load(std::memory_order_relaxed),
+            core_.alloc_failures.load(std::memory_order_relaxed),
+            core_.compactions_skipped.load(std::memory_order_relaxed)};
   }
 
  private:

@@ -121,10 +121,16 @@ class skip_tree_inspector {
   /// deliberately broken trees this way).
   static validation_report validate_raw(const node_t* top, int height) {
     validation_report rep;
+    if (top == nullptr) {
+      rep.fail("head node is null");
+      return rep;
+    }
     rep.nodes_per_level.assign(static_cast<std::size_t>(height) + 1, 0);
     std::vector<const node_t*> level_above;
     for (int level = height; level >= 0; --level) {
-      std::vector<const node_t*> chain = chain_from(head_below(top, height, level));
+      const node_t* head = head_below(top, height, level, &rep);
+      if (head == nullptr) return rep;  // corruption reported by head_below
+      std::vector<const node_t*> chain = chain_from(head);
       if (chain.empty()) {
         rep.fail("level " + std::to_string(level) + " is empty of nodes");
         return rep;
@@ -147,13 +153,16 @@ class skip_tree_inspector {
 
   std::vector<const node_t*> level_chain(int level) const {
     const auto* root = tree_.core_.root.load(std::memory_order_acquire);
-    return chain_from(head_below(root->node, root->height, level));
+    return chain_from(head_below(root->node, root->height, level, nullptr));
   }
 
-  /// The chain of nodes making up a level, leftmost first.
+  /// The chain of nodes making up a level, leftmost first.  Stops before a
+  /// node whose payload pointer is null (corrupt tree); the shape checks
+  /// then flag the truncated chain via the link-nullity rule.
   static std::vector<const node_t*> chain_from(const node_t* head) {
     std::vector<const node_t*> chain;
     for (const node_t* n = head; n != nullptr; n = payload(n)->link) {
+      if (payload(n) == nullptr) break;
       chain.push_back(n);
     }
     return chain;
@@ -161,14 +170,50 @@ class skip_tree_inspector {
 
   /// Descend from the topmost level's head to the head of `level`: the head
   /// of level i-1 is the first child reference of the first non-empty node
-  /// at level i.
+  /// at level i.  On a corrupt tree this walk can hit a null link (an
+  /// all-empty level with no terminator), a null payload, a leaf posing as
+  /// a routing node, or a null child: each is reported into `rep` (when
+  /// given) and returned as nullptr instead of being dereferenced -- the
+  /// validator exists to report corruption, not to crash on it.
   static const node_t* head_below(const node_t* top, int top_height,
-                                  int level) {
+                                  int level, validation_report* rep) {
     const node_t* head = top;
     for (int l = top_height; l > level; --l) {
       const node_t* n = head;
-      while (payload(n)->logical_len() == 0) n = payload(n)->link;
-      head = payload(n)->children()[0];
+      const contents_t* c;
+      for (;;) {
+        if (n == nullptr) {
+          if (rep != nullptr) {
+            rep->fail("level " + std::to_string(l) +
+                      " is all-empty with a null final link (D1 violated)");
+          }
+          return nullptr;
+        }
+        c = payload(n);
+        if (c == nullptr) {
+          if (rep != nullptr) {
+            rep->fail("null payload pointer at level " + std::to_string(l));
+          }
+          return nullptr;
+        }
+        if (c->logical_len() != 0) break;
+        n = c->link;
+      }
+      if (c->leaf) {
+        if (rep != nullptr) {
+          rep->fail("leaf payload above level 0 (at level " +
+                    std::to_string(l) + ")");
+        }
+        return nullptr;
+      }
+      head = c->children()[0];
+      if (head == nullptr) {
+        if (rep != nullptr) {
+          rep->fail("null child reference descending from level " +
+                    std::to_string(l));
+        }
+        return nullptr;
+      }
     }
     return head;
   }

@@ -1,0 +1,178 @@
+// Deterministic unit tests of the failpoint subsystem itself: the gate
+// chain (skip_first / fire_every / thread_bits / probability / max_fires),
+// the three site macros, and registry arm/disarm/reset.  This binary exists
+// only in -DLFST_FAILPOINTS=ON builds (see tests/CMakeLists.txt); the chaos
+// harness in test_chaos_skiptree.cpp builds on the semantics pinned here.
+#include "common/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <thread>
+
+namespace lfst::failpoint {
+namespace {
+
+// Exercise the macros exactly as production code does: each helper is one
+// instrumented "operation".
+bool try_alloc_site() {
+  try {
+    LFST_FP_ALLOC("fp.test.alloc");
+    return true;
+  } catch (const std::bad_alloc&) {
+    return false;
+  }
+}
+
+bool cas_site_spurious() { return LFST_FP_CAS("fp.test.cas"); }
+
+void point_site() { LFST_FP_POINT("fp.test.point"); }
+
+TEST(Failpoint, DisarmedSitesAreInert) {
+  registry::instance().reset_all();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(try_alloc_site());
+    EXPECT_FALSE(cas_site_spurious());
+    point_site();  // must not throw or delay
+  }
+  // Disarmed sites do not even count hits (the fast path bails first).
+  EXPECT_EQ(registry::instance().hits("fp.test.alloc"), 0u);
+}
+
+TEST(Failpoint, AllocSiteThrowsWhenArmed) {
+  registry::instance().reset_all();
+  {
+    scoped_failpoint fp("fp.test.alloc", policy{.act = action::fail});
+    EXPECT_FALSE(try_alloc_site());
+    EXPECT_FALSE(try_alloc_site());
+    EXPECT_EQ(fp.get().fires(), 2u);
+  }
+  EXPECT_TRUE(try_alloc_site());  // scoped_failpoint disarmed on exit
+}
+
+TEST(Failpoint, SkipFirstAndFireEveryGateDeterministically) {
+  registry::instance().reset_all();
+  scoped_failpoint fp("fp.test.alloc",
+                      policy{.act = action::fail, .skip_first = 3,
+                             .fire_every = 2});
+  // Hits 0,1,2 skipped; then every 2nd armed hit fires: 3,5,7,...
+  std::vector<bool> ok;
+  for (int i = 0; i < 8; ++i) ok.push_back(try_alloc_site());
+  EXPECT_EQ(ok, (std::vector<bool>{true, true, true, false, true, false,
+                                   true, false}));
+  EXPECT_EQ(fp.get().hits(), 8u);
+  EXPECT_EQ(fp.get().fires(), 3u);
+}
+
+TEST(Failpoint, MaxFiresCapsInjection) {
+  registry::instance().reset_all();
+  scoped_failpoint fp("fp.test.alloc",
+                      policy{.act = action::fail, .max_fires = 2});
+  int failures = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (!try_alloc_site()) ++failures;
+  }
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(fp.get().fires(), 2u);
+}
+
+TEST(Failpoint, ZeroProbabilityNeverFires) {
+  registry::instance().reset_all();
+  scoped_failpoint fp("fp.test.alloc",
+                      policy{.act = action::fail, .probability = 0.0});
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(try_alloc_site());
+  EXPECT_EQ(fp.get().fires(), 0u);
+  EXPECT_EQ(fp.get().hits(), 100u);
+}
+
+TEST(Failpoint, HalfProbabilityFiresSomeButNotAll) {
+  registry::instance().reset_all();
+  scoped_failpoint fp("fp.test.alloc",
+                      policy{.act = action::fail, .probability = 0.5});
+  int failures = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!try_alloc_site()) ++failures;
+  }
+  // With p = 0.5 over 2000 trials, [400, 1600] is > 20 sigma of slack.
+  EXPECT_GT(failures, 400);
+  EXPECT_LT(failures, 1600);
+}
+
+TEST(Failpoint, ThreadBitsExcludeThisThread) {
+  registry::instance().reset_all();
+  scoped_failpoint fp("fp.test.alloc",
+                      policy{.act = action::fail, .thread_bits = 0});
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(try_alloc_site());
+  EXPECT_EQ(fp.get().fires(), 0u);
+}
+
+TEST(Failpoint, CasSiteReportsSpuriousFailure) {
+  registry::instance().reset_all();
+  scoped_failpoint fp("fp.test.cas",
+                      policy{.act = action::fail, .max_fires = 3});
+  int spurious = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (cas_site_spurious()) ++spurious;
+  }
+  EXPECT_EQ(spurious, 3);
+}
+
+TEST(Failpoint, PointSiteWithFailActionIsInert) {
+  registry::instance().reset_all();
+  scoped_failpoint fp("fp.test.point", policy{.act = action::fail});
+  for (int i = 0; i < 10; ++i) point_site();  // no failure to inject
+  EXPECT_EQ(fp.get().fires(), 10u);  // it still fired (counted)...
+  SUCCEED();                         // ...but nothing observable happened
+}
+
+TEST(Failpoint, YieldDelayCompletes) {
+  registry::instance().reset_all();
+  scoped_failpoint fp("fp.test.point",
+                      policy{.act = action::yield, .delay_iters = 4});
+  for (int i = 0; i < 100; ++i) point_site();
+  EXPECT_EQ(fp.get().fires(), 100u);
+}
+
+TEST(Failpoint, ResetAllDisarmsAndZeroesEverySite) {
+  registry::instance().reset_all();
+  registry::instance().configure("fp.test.alloc",
+                                 policy{.act = action::fail});
+  EXPECT_FALSE(try_alloc_site());
+  registry::instance().reset_all();
+  EXPECT_TRUE(try_alloc_site());
+  EXPECT_EQ(registry::instance().fires("fp.test.alloc"), 0u);
+  EXPECT_EQ(registry::instance().hits("fp.test.alloc"), 0u);
+}
+
+TEST(Failpoint, SiteReferencesAreStable) {
+  site& a = registry::instance().at("fp.test.stable");
+  site& b = registry::instance().at("fp.test.stable");
+  EXPECT_EQ(&a, &b);
+  bool found = false;
+  for (const std::string& n : registry::instance().names()) {
+    if (n == "fp.test.stable") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Failpoint, MultipleThreadsShareOneSiteSafely) {
+  registry::instance().reset_all();
+  scoped_failpoint fp("fp.test.alloc",
+                      policy{.act = action::fail, .fire_every = 2});
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (!try_alloc_site()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(fp.get().hits(), 4000u);
+  EXPECT_EQ(static_cast<std::uint64_t>(failures.load()), fp.get().fires());
+  EXPECT_GT(fp.get().fires(), 0u);
+}
+
+}  // namespace
+}  // namespace lfst::failpoint

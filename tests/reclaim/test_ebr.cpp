@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -184,6 +186,60 @@ TEST(EbrStress, ManyThreadsManyRetires) {
   d.flush();
   d.flush();
   EXPECT_EQ(counted::live.load(), before);
+}
+
+// Regression tests for the tls_registry capacity rule.  The registry holds
+// 8 entries per thread; the check used to be an assert that vanished under
+// NDEBUG, turning a 9th distinct domain into an out-of-bounds write.  It is
+// now a hard runtime error in every build mode -- but only when all 8
+// tracked domains are still LIVE: entries of destroyed domains are reused.
+// Each test runs on a fresh thread so the main thread's accumulated
+// registry entries (global domain, other tests) cannot interfere.
+
+TEST(EbrRegistry, NinthLiveDomainOnOneThreadThrows) {
+  std::thread([] {
+    std::vector<std::unique_ptr<ebr_domain>> domains;
+    for (int i = 0; i < 8; ++i) {
+      domains.push_back(std::make_unique<ebr_domain>());
+      ebr_domain::guard g(*domains.back());  // claims a registry entry
+    }
+    auto ninth = std::make_unique<ebr_domain>();
+    bool threw = false;
+    try {
+      ebr_domain::guard g(*ninth);
+    } catch (const std::length_error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw) << "9th live domain must be a hard error, not an OOB";
+  }).join();
+}
+
+TEST(EbrRegistry, DeadDomainEntriesAreReused) {
+  const int before = counted::live.load();
+  std::thread([] {
+    // Far more sequential domains than the 8-entry capacity: each one dies
+    // before the next is created, so its registry entry is recycled.
+    for (int i = 0; i < 32; ++i) {
+      ebr_domain d;
+      ebr_domain::guard g(d);
+      d.retire(new counted(i));
+    }
+  }).join();
+  EXPECT_EQ(counted::live.load(), before);
+}
+
+TEST(EbrRegistry, DestroyingADomainFreesItsEntryForNewDomains) {
+  std::thread([] {
+    std::vector<std::unique_ptr<ebr_domain>> domains;
+    for (int i = 0; i < 8; ++i) {
+      domains.push_back(std::make_unique<ebr_domain>());
+      ebr_domain::guard g(*domains.back());
+    }
+    domains.front().reset();  // one of the eight dies
+    ebr_domain extra;         // its entry must be reusable
+    ebr_domain::guard g(extra);
+    SUCCEED();
+  }).join();
 }
 
 }  // namespace

@@ -151,5 +151,84 @@ TEST(ValidatorNegative, ReportToStringMentionsErrors) {
   EXPECT_NE(rep.to_string().find("error"), std::string::npos);
 }
 
+// Corrupt trees that used to CRASH the validator (null dereference in the
+// head_below descent) must instead fail into the report -- a validator that
+// exists to report corruption must not die on it.
+
+TEST(ValidatorCorrupt, NullHeadNodeFailsGracefully) {
+  auto rep = inspector::validate_raw(nullptr, 0);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(ValidatorCorrupt, AllEmptyLevelWithNullLinkFailsGracefully) {
+  // A height-1 tree whose single routing node is empty AND has a null link:
+  // the old head_below skip loop dereferenced the null link looking for a
+  // non-empty node to descend from.
+  builder b;
+  N* root = b.node(C::make_routing(std::span<const int>{},
+                                   std::span<N* const>{},
+                                   /*inf=*/false, /*link=*/nullptr));
+  auto rep = inspector::validate_raw(root, 1);
+  EXPECT_FALSE(rep.ok);
+  bool mentions_link = false;
+  for (const auto& e : rep.errors) {
+    if (e.find("null final link") != std::string::npos) mentions_link = true;
+  }
+  EXPECT_TRUE(mentions_link) << rep.to_string();
+}
+
+TEST(ValidatorCorrupt, NullPayloadFailsGracefully) {
+  // A node whose payload pointer is null (e.g. torn construction).  Not
+  // registered with the builder: it owns no payload to destroy.
+  N bare;
+  auto rep = inspector::validate_raw(&bare, 0);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(ValidatorCorrupt, NullPayloadDuringDescentFailsGracefully) {
+  // Descent from a height-1 root to level 0 crosses a node with a null
+  // payload: must be reported, not dereferenced.
+  builder b;
+  N bare;  // null payload; stack-owned
+  const int root_keys[] = {10};
+  N* children[] = {&bare, &bare};
+  N* root = b.node(C::make_routing(root_keys, children, true, nullptr));
+  auto rep = inspector::validate_raw(root, 1);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(ValidatorCorrupt, LeafPayloadAboveLevelZeroFailsGracefully) {
+  // A height-1 tree whose "routing" root is actually a leaf payload: the
+  // old descent called children() on it (UB on a leaf block).
+  builder b;
+  const int ks[] = {10};
+  N* root = b.node(C::make_leaf(ks, /*inf=*/true, nullptr));
+  auto rep = inspector::validate_raw(root, 1);
+  EXPECT_FALSE(rep.ok);
+  bool mentions_leaf = false;
+  for (const auto& e : rep.errors) {
+    if (e.find("leaf payload above level 0") != std::string::npos) {
+      mentions_leaf = true;
+    }
+  }
+  EXPECT_TRUE(mentions_leaf) << rep.to_string();
+}
+
+TEST(ValidatorCorrupt, NullChildReferenceFailsGracefully) {
+  builder b;
+  const int root_keys[] = {10};
+  N* children[] = {nullptr, nullptr};  // descent target is null
+  N* root = b.node(C::make_routing(root_keys, children, true, nullptr));
+  auto rep = inspector::validate_raw(root, 1);
+  EXPECT_FALSE(rep.ok);
+  bool mentions_child = false;
+  for (const auto& e : rep.errors) {
+    if (e.find("null child reference") != std::string::npos) {
+      mentions_child = true;
+    }
+  }
+  EXPECT_TRUE(mentions_child) << rep.to_string();
+}
+
 }  // namespace
 }  // namespace lfst::skiptree
