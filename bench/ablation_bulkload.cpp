@@ -38,7 +38,8 @@ double read_throughput(lfst::skiptree::skip_tree<key>& set,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lfst::bench::metrics_reporter metrics(argc, argv);
   const bench_config cfg = bench_config::from_env();
   lfst::bench::print_header(
       "Ablation C: bulk-loaded (optimal) vs grown vs degraded", cfg);

@@ -70,7 +70,8 @@ outcome run(bool compaction, const bench_config& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lfst::bench::metrics_reporter metrics(argc, argv);
   const bench_config cfg = bench_config::from_env();
   lfst::bench::print_header("Ablation A: online node compaction on/off", cfg);
 

@@ -27,7 +27,8 @@ double throughput(const scenario& sc, Factory&& f) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lfst::bench::metrics_reporter metrics(argc, argv);
   const bench_config cfg = bench_config::from_env();
   lfst::bench::print_header("Ablation B: reclamation policy (EBR vs leaky)",
                             cfg);

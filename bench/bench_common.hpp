@@ -11,6 +11,11 @@
 // The defaults are sized for a small CI-class machine; raising OPS/TRIALS
 // toward the paper's 5M x 64 sharpens the statistics without changing the
 // harness.
+// A metrics sidecar can ride along with any bench: pass --metrics-json
+// (or --metrics-json=PATH, or set LFST_METRICS_JSON=PATH) and the process
+// writes a JSON-lines dump of the metrics registry on exit.  The counters
+// are only populated in -DLFST_METRICS=ON builds; an OFF build writes an
+// all-zero dump, making the flag safe to leave in scripts.
 #pragma once
 
 #include <cstdio>
@@ -19,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
+#include "common/metrics_export.hpp"
 #include "workload/table.hpp"
 #include "workload/workload.hpp"
 
@@ -76,5 +83,52 @@ inline void print_header(const char* what, const bench_config& c) {
               "LFST_BENCH_TRIALS / LFST_BENCH_THREADS)\n\n",
               c.ops, c.trials);
 }
+
+/// Scope object every bench main constructs first: consumes the
+/// `--metrics-json[=PATH]` argument (removing it from argv so downstream
+/// parsers -- google-benchmark in particular -- never see it) and, if the
+/// flag or the LFST_METRICS_JSON environment variable asked for a sidecar,
+/// writes the aggregated registry as JSON lines on destruction.
+class metrics_reporter {
+ public:
+  metrics_reporter(int& argc, char** argv) {
+    if (const char* env = std::getenv("LFST_METRICS_JSON");
+        env != nullptr && *env != '\0') {
+      path_ = env;
+    }
+    int w = 1;
+    for (int r = 1; r < argc; ++r) {
+      if (std::strcmp(argv[r], "--metrics-json") == 0) {
+        if (path_.empty()) path_ = "metrics.jsonl";
+        continue;
+      }
+      if (std::strncmp(argv[r], "--metrics-json=", 15) == 0) {
+        path_ = argv[r] + 15;
+        continue;
+      }
+      argv[w++] = argv[r];
+    }
+    argc = w;
+  }
+
+  metrics_reporter(const metrics_reporter&) = delete;
+  metrics_reporter& operator=(const metrics_reporter&) = delete;
+
+  ~metrics_reporter() {
+    if (path_.empty()) return;
+    const auto& reg = metrics::registry::instance();
+    if (metrics::write_json_file(path_, reg.aggregate(), reg.drain_trace())) {
+      std::fprintf(stderr, "metrics sidecar written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "metrics sidecar: cannot write %s\n",
+                   path_.c_str());
+    }
+  }
+
+  bool enabled() const noexcept { return !path_.empty(); }
+
+ private:
+  std::string path_;
+};
 
 }  // namespace lfst::bench

@@ -55,7 +55,8 @@ struct entry {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lfst::bench::metrics_reporter metrics(argc, argv);
   const bench_config cfg = bench_config::from_env();
   lfst::bench::print_header("Figure 9: throughput vs thread count", cfg);
 

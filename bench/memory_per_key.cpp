@@ -18,7 +18,8 @@
 #include "skiptree/skip_tree.hpp"
 #include "skiptree/validate.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lfst::bench::metrics_reporter metrics(argc, argv);
   const auto cfg = lfst::bench::bench_config::from_env();
   lfst::bench::print_header("Structural census: memory per key", cfg);
 

@@ -9,6 +9,7 @@
 
 #include "avltree/opt_tree.hpp"
 #include "avltree/snap_tree.hpp"
+#include "bench_common.hpp"
 #include "blinktree/blink_tree.hpp"
 #include "common/rng.hpp"
 #include "skiplist/skip_list.hpp"
@@ -117,6 +118,37 @@ BENCHMARK_TEMPLATE(BM_Iterate, lfst::avltree::snap_tree<key>)
 BENCHMARK_TEMPLATE(BM_Iterate, lfst::blinktree::blink_tree<key>)
     ->Arg(kMedium)->Arg(kLarge)->Iterations(8);
 
+// Multi-threaded add/remove over a deliberately tiny key range: the whole
+// set fits in a handful of leaves, so concurrent payload CASes collide and
+// the skip-tree's retry paths (and hence the LFST_METRICS retry histograms)
+// become non-trivial.
+void BM_ContendedAddRemove(benchmark::State& state) {
+  static lfst::skiptree::skip_tree<key>* shared = [] {
+    lfst::skiptree::skip_tree_options o;
+    o.q_log2 = 5;
+    auto* t = new lfst::skiptree::skip_tree<key>(o);
+    lfst::xoshiro256ss rng(0xc027);
+    for (int i = 0; i < 12; ++i) t->add(static_cast<key>(rng.below(16)));
+    return t;
+  }();
+  lfst::xoshiro256ss rng(0xc028 + static_cast<std::uint64_t>(
+                                      state.thread_index()));
+  for (auto _ : state) {
+    const key k = static_cast<key>(rng.below(16));
+    benchmark::DoNotOptimize(shared->add(k));
+    benchmark::DoNotOptimize(shared->remove(k));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_ContendedAddRemove)->Threads(4)->Iterations(250000);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  lfst::bench::metrics_reporter metrics(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

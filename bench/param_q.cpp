@@ -10,7 +10,8 @@
 #include "bench_common.hpp"
 #include "skiptree/skip_tree.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lfst::bench::metrics_reporter metrics(argc, argv);
   using lfst::bench::bench_config;
   using lfst::workload::scenario;
   const bench_config cfg = bench_config::from_env();

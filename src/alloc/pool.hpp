@@ -60,6 +60,7 @@
 
 #include "common/align.hpp"
 #include "common/failpoint.hpp"
+#include "common/metrics.hpp"
 
 namespace lfst::alloc {
 
@@ -122,6 +123,7 @@ class pool {
     const std::size_t block = block_size(bytes, align);
     if (block == 0) {  // oversized or overaligned: global heap
       if (tc != nullptr) ++tc->c.fallbacks;
+      LFST_M_COUNT(::lfst::metrics::cid::pool_fallbacks);
       return ::operator new(bytes, std::align_val_t{align});
     }
     const int ci = class_index(block);
@@ -130,6 +132,7 @@ class pool {
       void* p = c->free_lists[ci].back();
       c->free_lists[ci].pop_back();
       ++tc->c.pool_hits;
+      LFST_M_COUNT(::lfst::metrics::cid::pool_hits);
       return p;
     }
     return refill_and_pop(ci, block, c, tc);
@@ -152,6 +155,7 @@ class pool {
     if (c == nullptr) {
       // Thread-local cache already retired (static-destruction-time
       // reclamation); hand the block straight to the shared list.
+      LFST_M_COUNT(::lfst::metrics::cid::pool_foreign_frees);
       size_class& sc = global().classes[ci];
       lock(sc);
       try {
@@ -308,6 +312,7 @@ class pool {
   /// Slow path: the thread cache overflowed; move a batch of blocks back to
   /// the shared list so other threads (and other size users) can have them.
   static void spill(tls_cache& c, int ci) noexcept {
+    LFST_M_COUNT(::lfst::metrics::cid::pool_spills);
     std::vector<void*>& list = c.free_lists[ci];
     const std::size_t keep = list.size() - kBatch;
     size_class& sc = global().classes[ci];
@@ -335,6 +340,7 @@ class pool {
   static void* refill_and_pop(int ci, std::size_t block, tls_cache* c,
                               tls_counters* tc) {
     LFST_FP_ALLOC("alloc.pool.refill");
+    LFST_M_COUNT(::lfst::metrics::cid::pool_refills);
     size_class& sc = global().classes[ci];
     const std::size_t want = c != nullptr ? kBatch : 1;
     void* out = nullptr;
@@ -386,6 +392,11 @@ class pool {
           ++tc->c.slab_carves;
         }
       }
+      if (reused) {
+        LFST_M_COUNT(::lfst::metrics::cid::pool_hits);
+      } else {
+        LFST_M_COUNT(::lfst::metrics::cid::pool_slab_carves);
+      }
       return out;  // partial batch: the request itself still succeeds
     }
     unlock(sc);
@@ -395,6 +406,11 @@ class pool {
       } else {
         ++tc->c.slab_carves;
       }
+    }
+    if (reused) {
+      LFST_M_COUNT(::lfst::metrics::cid::pool_hits);
+    } else {
+      LFST_M_COUNT(::lfst::metrics::cid::pool_slab_carves);
     }
     return out;
   }

@@ -37,6 +37,7 @@
 #include "alloc/pool.hpp"
 #include "common/align.hpp"
 #include "common/backoff.hpp"
+#include "common/metrics.hpp"
 #include "common/spin_rw_lock.hpp"
 
 namespace lfst::blinktree {
@@ -405,6 +406,7 @@ class blink_tree {
         }
       } catch (const std::bad_alloc&) {
         n->lock.unlock();
+        LFST_M_COUNT(::lfst::metrics::cid::blink_deferred_splits);
         return;  // split deferred; n untouched and still valid
       }
       right->has_high = n->has_high;
@@ -420,6 +422,7 @@ class blink_tree {
       n->has_high = true;
       n->high = separator;
       n->lock.unlock();
+      LFST_M_COUNT(::lfst::metrics::cid::blink_splits);
 
       // Insert (separator -> right) into the parent level.
       if (was_root) {
@@ -429,6 +432,7 @@ class blink_tree {
           new_root->children.push_back(n);
           new_root->children.push_back(right);
           root_.store(new_root, std::memory_order_release);
+          LFST_M_COUNT(::lfst::metrics::cid::blink_root_splits);
           return;
         }
         // Someone grew the tree first: fall through to the generic path.
@@ -443,6 +447,7 @@ class blink_tree {
         parent->children.reserve(parent->children.size() + 1);
       } catch (const std::bad_alloc&) {
         parent->lock.unlock();
+        LFST_M_COUNT(::lfst::metrics::cid::blink_half_splits_left);
         return;  // half-split: right stays reachable via n's link
       }
       parent->keys.insert(
@@ -451,6 +456,7 @@ class blink_tree {
       parent->children.insert(
           parent->children.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
           right);
+      LFST_M_COUNT(::lfst::metrics::cid::blink_half_split_repairs);
       if (parent->keys.size() <= 2 * opts_.min_node_size) {
         parent->lock.unlock();
         return;

@@ -1,0 +1,585 @@
+// Unified metrics: sharded counters, log2-bucket histograms, event tracing.
+//
+// The paper evaluates the skip-tree by end-to-end throughput alone, but its
+// lock-free progress argument lives in *internal* events -- CAS retry storms,
+// empty-node bypasses, the four Fig. 8 compaction transforms, EBR epoch lag.
+// This header is the shared instrument for observing those events across all
+// four structures (skip-tree, skip-list, Michael-Harris list, B-link tree)
+// plus the allocator pool and the reclamation domain, with the same zero-cost
+// philosophy as failpoint.hpp: the registry machinery is always compiled (so
+// the tier-1 suite exercises it in every build), but the instrumentation
+// macros threaded through the hot paths compile to nothing unless
+// LFST_METRICS is defined -- no branch, no load, no registry reference.
+//
+// Three primitives:
+//
+//   * Counters.  One process-wide slot per `cid`, sharded over
+//     `kShards` cache-line-padded shard blocks; a thread increments the slot
+//     in its own shard (thread index mod kShards) with a relaxed fetch_add,
+//     so under any realistic thread count writers almost never share a line.
+//     Reads aggregate across shards -- exact after writers quiesce,
+//     approximate (but never torn per-slot) while they run.
+//
+//   * Histograms.  Fixed 65-bucket log2 histograms: value v lands in bucket
+//     bit_width(v), so bucket 0 holds v = 0 and bucket b >= 1 holds
+//     [2^(b-1), 2^b).  Same sharding and memory-order contract as counters.
+//     Exact count and sum ride along for mean computation.
+//
+//   * Event traces.  A fixed-capacity per-thread ring buffer of
+//     (event id, tsc timestamp, payload) records; `push` is three relaxed
+//     stores and a head bump, wraparound overwrites the oldest record.
+//     `drain_trace` merges every thread's ring into one time-ordered dump --
+//     the post-mortem view of "what did the fault schedule actually perturb".
+//
+// Memory-order contract: every hot-path store is relaxed; no metrics access
+// synchronizes with any other. Aggregated values are therefore sums of
+// per-shard relaxed loads: each slot is internally consistent (64-bit atomic),
+// but cross-slot invariants (e.g. hist count == sum of buckets) hold only
+// after the writing threads have joined. Exporters and tests must quiesce
+// first; live dumps are explicitly approximate diagnostics.
+//
+// The per-structure *instance* counters (e.g. skip_tree::structural_stats)
+// are deliberately NOT replaced by this global registry: tests assert exact
+// per-tree event counts, and a process-wide slot cannot give them that.
+// `instance_counters<Enum>` below is the shared implementation both layers
+// use -- a tree keeps its own always-on array, and (under LFST_METRICS) each
+// bump is mirrored into the global registry so cross-structure dumps see it.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/align.hpp"
+
+namespace lfst::metrics {
+
+// --- identifiers -------------------------------------------------------------
+//
+// Adding an id: append to the enum AND to the matching name table; the
+// static_asserts keep the two in lockstep.
+
+/// Process-wide counter ids.  The skiptree_* block mirrors the order of
+/// `skiptree::tree_counter` (detail/core.hpp) so per-instance bumps can be
+/// mirrored with a single static_cast.
+enum class cid : std::uint16_t {
+  skiptree_cas_failures = 0,
+  skiptree_splits,
+  skiptree_root_raises,
+  skiptree_empty_bypasses,
+  skiptree_ref_repairs,
+  skiptree_duplicate_drops,
+  skiptree_migrations,
+  skiptree_alloc_failures,
+  skiptree_compactions_skipped,
+  harris_add_retries,
+  harris_remove_retries,
+  harris_physical_removals,
+  skiplist_add_retries,
+  skiplist_remove_retries,
+  skiplist_physical_unlinks,
+  blink_splits,
+  blink_root_splits,
+  blink_deferred_splits,
+  blink_half_split_repairs,
+  blink_half_splits_left,
+  pool_refills,
+  pool_spills,
+  pool_foreign_frees,
+  pool_hits,
+  pool_slab_carves,
+  pool_fallbacks,
+  ebr_retires,
+  ebr_advances,
+  ebr_advance_stalls,
+  kCount
+};
+
+inline constexpr std::string_view kCounterNames[] = {
+    "skiptree.cas_failures",
+    "skiptree.splits",
+    "skiptree.root_raises",
+    "skiptree.empty_bypasses",
+    "skiptree.ref_repairs",
+    "skiptree.duplicate_drops",
+    "skiptree.migrations",
+    "skiptree.alloc_failures",
+    "skiptree.compactions_skipped",
+    "harris.add_retries",
+    "harris.remove_retries",
+    "harris.physical_removals",
+    "skiplist.add_retries",
+    "skiplist.remove_retries",
+    "skiplist.physical_unlinks",
+    "blink.splits",
+    "blink.root_splits",
+    "blink.deferred_splits",
+    "blink.half_split_repairs",
+    "blink.half_splits_left",
+    "pool.refills",
+    "pool.spills",
+    "pool.foreign_frees",
+    "pool.hits",
+    "pool.slab_carves",
+    "pool.fallbacks",
+    "ebr.retires",
+    "ebr.advances",
+    "ebr.advance_stalls",
+};
+static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
+              static_cast<std::size_t>(cid::kCount));
+
+/// Histogram ids (log2 buckets).
+enum class hid : std::uint16_t {
+  skiptree_cas_retries_per_op = 0,  ///< failed CASes per mutation attempt
+  skiptree_traversal_depth,         ///< level steps + link hops per descent
+  ebr_advance_ticks,                ///< tsc between successful epoch advances
+  ebr_limbo_depth,                  ///< retire-queue depth at each retire()
+  kCount
+};
+
+inline constexpr std::string_view kHistNames[] = {
+    "skiptree.cas_retries_per_op",
+    "skiptree.traversal_depth",
+    "ebr.advance_ticks",
+    "ebr.limbo_depth",
+};
+static_assert(sizeof(kHistNames) / sizeof(kHistNames[0]) ==
+              static_cast<std::size_t>(hid::kCount));
+
+/// Trace event ids.
+enum class eid : std::uint16_t {
+  skiptree_split = 0,
+  skiptree_root_raise,
+  skiptree_compact_8a,
+  skiptree_compact_8b,
+  skiptree_compact_8c,
+  skiptree_compact_8d,
+  ebr_advance,
+  kCount
+};
+
+inline constexpr std::string_view kEventNames[] = {
+    "skiptree.split",
+    "skiptree.root_raise",
+    "skiptree.compact_8a",
+    "skiptree.compact_8b",
+    "skiptree.compact_8c",
+    "skiptree.compact_8d",
+    "ebr.advance",
+};
+static_assert(sizeof(kEventNames) / sizeof(kEventNames[0]) ==
+              static_cast<std::size_t>(eid::kCount));
+
+constexpr std::string_view counter_name(cid id) noexcept {
+  return kCounterNames[static_cast<std::size_t>(id)];
+}
+constexpr std::string_view hist_name(hid id) noexcept {
+  return kHistNames[static_cast<std::size_t>(id)];
+}
+constexpr std::string_view event_name(eid id) noexcept {
+  return kEventNames[static_cast<std::size_t>(id)];
+}
+
+// --- time source -------------------------------------------------------------
+
+/// Cheap monotonic-enough timestamp for trace records and latency deltas:
+/// the time-stamp counter on x86 (one instruction, no serialization -- trace
+/// ordering across cores is best-effort by design), steady_clock elsewhere.
+inline std::uint64_t tsc_now() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+// --- histogram ---------------------------------------------------------------
+
+/// Log2-bucket histogram: value v lands in bucket std::bit_width(v).
+/// Bucket 0 is exactly v = 0; bucket b >= 1 covers [2^(b-1), 2^b).
+class log2_histogram {
+ public:
+  static constexpr int kBuckets = 65;  // bit_width of a uint64_t is 0..64
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t bucket(int b) const noexcept {
+    return buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Inclusive lower bound of bucket `b` (0 for buckets 0 and 1).
+  static constexpr std::uint64_t bucket_lo(int b) noexcept {
+    return b <= 1 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// --- snapshots ---------------------------------------------------------------
+
+/// Aggregated view of one histogram.  `buckets[b]` counts values with
+/// bit_width b; `count` is the bucket total; `sum` the exact value total.
+struct hist_snapshot {
+  std::string_view name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, log2_histogram::kBuckets> buckets{};
+
+  double mean() const noexcept {
+    return count == 0
+               ? 0.0
+               : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Approximate percentile: the upper bound of the first bucket whose
+  /// cumulative count reaches p * count (log2 resolution by construction).
+  double approx_percentile(double p) const noexcept {
+    if (count == 0) return 0.0;
+    const double target = p * static_cast<double>(count);
+    std::uint64_t cum = 0;
+    for (int b = 0; b < log2_histogram::kBuckets; ++b) {
+      cum += buckets[static_cast<std::size_t>(b)];
+      if (static_cast<double>(cum) >= target) {
+        return b == 0 ? 0.0 : std::ldexp(1.0, b) - 1.0;
+      }
+    }
+    return std::ldexp(1.0, log2_histogram::kBuckets - 1);
+  }
+};
+
+struct counter_snapshot {
+  std::string_view name;
+  std::uint64_t value = 0;
+};
+
+/// One drained trace record, annotated with its source thread.
+struct trace_record {
+  eid id{};
+  std::uint64_t tsc = 0;
+  std::uint64_t payload = 0;
+  std::uint64_t thread = 0;  ///< metrics thread index of the recording thread
+};
+
+/// Everything the exporters consume: counters + histograms aggregated over
+/// all shards (events are drained separately; they are bulkier).
+struct metrics_snapshot {
+  std::vector<counter_snapshot> counters;
+  std::vector<hist_snapshot> histograms;
+
+  std::uint64_t counter(cid id) const noexcept {
+    return counters[static_cast<std::size_t>(id)].value;
+  }
+  const hist_snapshot& histogram(hid id) const noexcept {
+    return histograms[static_cast<std::size_t>(id)];
+  }
+};
+
+// --- per-thread event-trace ring ---------------------------------------------
+
+/// Fixed-capacity ring of trace events, written by exactly one thread at a
+/// time (rings are recycled across threads, never shared concurrently).  All
+/// fields are relaxed atomics so a concurrent drain reads torn *records* at
+/// worst, never undefined behavior; exact dumps require quiescence, like
+/// every other read in this header.
+class trace_ring {
+ public:
+  static constexpr std::size_t kCapacity = 1024;
+
+  void push(eid id, std::uint64_t tsc, std::uint64_t payload) noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    slot& s = slots_[h % kCapacity];
+    s.id.store(static_cast<std::uint16_t>(id), std::memory_order_relaxed);
+    s.tsc.store(tsc, std::memory_order_relaxed);
+    s.payload.store(payload, std::memory_order_relaxed);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Append the ring's surviving records (oldest first) to `out`.
+  void drain_into(std::vector<trace_record>& out,
+                  std::uint64_t thread) const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t n = h < kCapacity ? h : kCapacity;
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      const slot& s = slots_[i % kCapacity];
+      out.push_back(trace_record{
+          static_cast<eid>(s.id.load(std::memory_order_relaxed)),
+          s.tsc.load(std::memory_order_relaxed),
+          s.payload.load(std::memory_order_relaxed), thread});
+    }
+  }
+
+  /// Monotone number of records ever pushed (wraparound does not reset it).
+  std::uint64_t pushed() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { head_.store(0, std::memory_order_relaxed); }
+
+ private:
+  struct slot {
+    std::atomic<std::uint16_t> id{0};
+    std::atomic<std::uint64_t> tsc{0};
+    std::atomic<std::uint64_t> payload{0};
+  };
+  std::atomic<std::uint64_t> head_{0};
+  std::array<slot, kCapacity> slots_{};
+};
+
+// --- registry ----------------------------------------------------------------
+
+/// Process-wide metrics registry: a leaky singleton (like the failpoint
+/// registry and the allocator pool) so metrics stay usable from
+/// static-destruction-time code.  Counter/histogram state is statically
+/// sized; trace rings are allocated per thread on first trace and recycled
+/// when threads exit.
+class registry {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  static registry& instance() {
+    static registry* r = new registry;
+    return *r;
+  }
+
+  // --- hot path (relaxed, sharded) ------------------------------------------
+
+  void count(cid id) noexcept { add(id, 1); }
+
+  void add(cid id, std::uint64_t n) noexcept {
+    shards_[shard_index()].counters[static_cast<std::size_t>(id)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  void record(hid id, std::uint64_t v) noexcept {
+    shards_[shard_index()].hists[static_cast<std::size_t>(id)].record(v);
+  }
+
+  void trace(eid id, std::uint64_t payload) noexcept {
+    my_ring().push(id, tsc_now(), payload);
+  }
+
+  // --- aggregation (quiesce for exactness) ----------------------------------
+
+  std::uint64_t counter(cid id) const noexcept {
+    std::uint64_t total = 0;
+    for (const shard& s : shards_) {
+      total += s.counters[static_cast<std::size_t>(id)].load(
+          std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  hist_snapshot histogram(hid id) const {
+    hist_snapshot out;
+    out.name = hist_name(id);
+    for (const shard& s : shards_) {
+      const log2_histogram& h = s.hists[static_cast<std::size_t>(id)];
+      out.sum += h.sum();
+      for (int b = 0; b < log2_histogram::kBuckets; ++b) {
+        out.buckets[static_cast<std::size_t>(b)] += h.bucket(b);
+      }
+    }
+    for (std::uint64_t b : out.buckets) out.count += b;
+    return out;
+  }
+
+  metrics_snapshot aggregate() const {
+    metrics_snapshot snap;
+    snap.counters.reserve(static_cast<std::size_t>(cid::kCount));
+    for (std::size_t i = 0; i < static_cast<std::size_t>(cid::kCount); ++i) {
+      const cid id = static_cast<cid>(i);
+      snap.counters.push_back(counter_snapshot{counter_name(id), counter(id)});
+    }
+    snap.histograms.reserve(static_cast<std::size_t>(hid::kCount));
+    for (std::size_t i = 0; i < static_cast<std::size_t>(hid::kCount); ++i) {
+      snap.histograms.push_back(histogram(static_cast<hid>(i)));
+    }
+    return snap;
+  }
+
+  /// Merge every thread's trace ring into one tsc-ordered dump.
+  std::vector<trace_record> drain_trace() const {
+    std::vector<trace_record> out;
+    std::lock_guard<std::mutex> g(rings_mu_);
+    for (std::size_t i = 0; i < rings_.size(); ++i) {
+      rings_[i]->ring.drain_into(out, i);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const trace_record& a, const trace_record& b) {
+                       return a.tsc < b.tsc;
+                     });
+    return out;
+  }
+
+  /// Zero every counter, histogram and trace ring.  Caller must quiesce:
+  /// concurrent increments may land on either side of the wipe.
+  void reset() {
+    for (shard& s : shards_) {
+      for (auto& c : s.counters) c.store(0, std::memory_order_relaxed);
+      for (auto& h : s.hists) h.reset();
+    }
+    std::lock_guard<std::mutex> g(rings_mu_);
+    for (const auto& r : rings_) r->ring.reset();
+  }
+
+ private:
+  registry() = default;
+
+  struct alignas(kFalseSharingRange) shard {
+    std::array<std::atomic<std::uint64_t>,
+               static_cast<std::size_t>(cid::kCount)>
+        counters{};
+    std::array<log2_histogram, static_cast<std::size_t>(hid::kCount)> hists{};
+  };
+
+  /// Stable small integer per thread, assigned on first use (same scheme as
+  /// the failpoint registry's thread gate).
+  static std::uint64_t thread_index() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    thread_local const std::uint64_t idx =
+        counter.fetch_add(1, std::memory_order_relaxed);
+    return idx;
+  }
+
+  static std::size_t shard_index() noexcept {
+    thread_local const std::size_t shard =
+        static_cast<std::size_t>(thread_index() % kShards);
+    return shard;
+  }
+
+  // Trace rings are owned by the registry (node-stable unique_ptrs) and
+  // leased to threads: a thread claims a free ring on first trace and its
+  // thread-exit hook returns the lease, leaving the contents drainable.
+  struct owned_ring {
+    trace_ring ring;
+    std::atomic<bool> leased{false};
+  };
+
+  struct ring_lease {
+    owned_ring* ring = nullptr;
+    ~ring_lease() {
+      if (ring != nullptr)
+        ring->leased.store(false, std::memory_order_release);
+    }
+  };
+
+  trace_ring& my_ring() {
+    thread_local ring_lease lease;
+    if (lease.ring == nullptr) lease.ring = &acquire_ring();
+    return lease.ring->ring;
+  }
+
+  owned_ring& acquire_ring() {
+    std::lock_guard<std::mutex> g(rings_mu_);
+    for (const auto& r : rings_) {
+      bool expected = false;
+      if (r->leased.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+        r->ring.reset();  // fresh lease: do not inherit the old owner's tail
+        return *r;
+      }
+    }
+    rings_.push_back(std::make_unique<owned_ring>());
+    rings_.back()->leased.store(true, std::memory_order_relaxed);
+    return *rings_.back();
+  }
+
+  shard shards_[kShards];
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<owned_ring>> rings_;
+};
+
+// --- always-on per-instance counters -----------------------------------------
+
+/// Enum-indexed relaxed counter array: the implementation behind each
+/// structure's own cheap always-on counters (e.g. the skip-tree's
+/// structural_stats).  `Enum` must end with an enumerator named kCount.
+template <typename Enum>
+class instance_counters {
+ public:
+  static constexpr std::size_t kN = static_cast<std::size_t>(Enum::kCount);
+
+  void inc(Enum e) noexcept { add(e, 1); }
+  void add(Enum e, std::uint64_t n) noexcept {
+    v_[static_cast<std::size_t>(e)].fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t get(Enum e) const noexcept {
+    return v_[static_cast<std::size_t>(e)].load(std::memory_order_relaxed);
+  }
+
+  std::array<std::uint64_t, kN> snapshot() const noexcept {
+    std::array<std::uint64_t, kN> out{};
+    for (std::size_t i = 0; i < kN; ++i) {
+      out[i] = v_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kN> v_{};
+};
+
+}  // namespace lfst::metrics
+
+// --- instrumentation macros --------------------------------------------------
+//
+// All hot-path instrumentation goes through these; they compile to nothing
+// without LFST_METRICS (arguments are discarded textually, so even the
+// expressions computing them must be built with the TALLY macros below).
+
+#if defined(LFST_METRICS)
+
+/// Bump a process-wide counter by one / by `n`.
+#define LFST_M_COUNT(id_) (::lfst::metrics::registry::instance().count(id_))
+#define LFST_M_ADD(id_, n_) \
+  (::lfst::metrics::registry::instance().add(id_, (n_)))
+
+/// Record one histogram sample.
+#define LFST_M_HIST(id_, v_) \
+  (::lfst::metrics::registry::instance().record(id_, (v_)))
+
+/// Record one trace event in the calling thread's ring.
+#define LFST_M_TRACE(id_, payload_) \
+  (::lfst::metrics::registry::instance().trace(id_, (payload_)))
+
+/// Local tally for per-operation histograms: declare, bump inside retry
+/// loops, record once per operation with LFST_M_HIST.  The variable does not
+/// exist at all in non-metrics builds.
+#define LFST_M_TALLY(var_) std::uint64_t var_ = 0
+#define LFST_M_TALLY_INC(var_) (++(var_))
+
+#else  // !LFST_METRICS: every macro compiles to nothing.
+
+#define LFST_M_COUNT(id_) ((void)0)
+#define LFST_M_ADD(id_, n_) ((void)0)
+#define LFST_M_HIST(id_, v_) ((void)0)
+#define LFST_M_TRACE(id_, payload_) ((void)0)
+#define LFST_M_TALLY(var_) ((void)0)
+#define LFST_M_TALLY_INC(var_) ((void)0)
+
+#endif  // LFST_METRICS

@@ -1,0 +1,100 @@
+// Exporters for the metrics registry: a human text table and JSON lines.
+//
+// Both formats consume the aggregated `metrics_snapshot` (and optionally a
+// drained trace), so they carry the same quiescence caveat as the registry's
+// read side: values are exact after writers join, approximate while running.
+//
+// The JSON-lines format (one self-contained object per line) is chosen over
+// a single document so a bench sidecar can be parsed line-by-line, grepped,
+// or appended to across runs without a JSON stream parser:
+//
+//   {"type":"counter","name":"skiptree.splits","value":42}
+//   {"type":"histogram","name":"skiptree.traversal_depth","count":9,...}
+//   {"type":"event","name":"skiptree.split","tsc":123,"payload":7,"thread":0}
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace lfst::metrics {
+
+/// Human-readable table of all non-zero counters and histograms ("all-zero"
+/// rows are noise in a dump whose job is to say what actually happened).
+inline std::string to_table(const metrics_snapshot& snap) {
+  std::ostringstream os;
+  os << "-- counters --\n";
+  bool any = false;
+  for (const counter_snapshot& c : snap.counters) {
+    if (c.value == 0) continue;
+    any = true;
+    os << "  " << std::left << std::setw(32) << c.name << " "
+       << c.value << "\n";
+  }
+  if (!any) os << "  (all zero)\n";
+  os << "-- histograms --\n";
+  any = false;
+  for (const hist_snapshot& h : snap.histograms) {
+    if (h.count == 0) continue;
+    any = true;
+    os << "  " << std::left << std::setw(32) << h.name << " count="
+       << h.count << " mean=" << std::fixed << std::setprecision(1)
+       << h.mean() << " p50<=" << std::setprecision(0)
+       << h.approx_percentile(0.50) << " p99<="
+       << h.approx_percentile(0.99) << "\n";
+  }
+  if (!any) os << "  (all empty)\n";
+  return os.str();
+}
+
+/// JSON-lines dump: one object per counter, one per histogram (with a sparse
+/// bucket map keyed by bit-width), then -- if `events` is non-empty -- one
+/// per trace record, already time-ordered by the caller's drain.
+inline std::string to_json_lines(
+    const metrics_snapshot& snap,
+    const std::vector<trace_record>& events = {}) {
+  std::ostringstream os;
+  for (const counter_snapshot& c : snap.counters) {
+    os << "{\"type\":\"counter\",\"name\":\"" << c.name
+       << "\",\"value\":" << c.value << "}\n";
+  }
+  for (const hist_snapshot& h : snap.histograms) {
+    os << "{\"type\":\"histogram\",\"name\":\"" << h.name
+       << "\",\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"p50\":" << h.approx_percentile(0.50)
+       << ",\"p99\":" << h.approx_percentile(0.99) << ",\"buckets\":{";
+    bool first = true;
+    for (int b = 0; b < log2_histogram::kBuckets; ++b) {
+      const std::uint64_t n = h.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << b << "\":" << n;
+    }
+    os << "}}\n";
+  }
+  for (const trace_record& e : events) {
+    os << "{\"type\":\"event\",\"name\":\"" << event_name(e.id)
+       << "\",\"tsc\":" << e.tsc << ",\"payload\":" << e.payload
+       << ",\"thread\":" << e.thread << "}\n";
+  }
+  return os.str();
+}
+
+/// Write a JSON-lines dump to `path`; returns false on I/O failure.  Plain
+/// stdio keeps this usable from atexit-time reporters.
+inline bool write_json_file(const std::string& path,
+                            const metrics_snapshot& snap,
+                            const std::vector<trace_record>& events = {}) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_json_lines(snap, events);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace lfst::metrics

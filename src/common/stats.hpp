@@ -54,6 +54,7 @@ struct summary {
   double max = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
 
   static summary of(std::vector<double> samples) {
     if (samples.empty()) throw std::invalid_argument("summary::of: no samples");
@@ -68,10 +69,13 @@ struct summary {
     out.max = rs.max();
     out.p50 = percentile(samples, 0.50);
     out.p95 = percentile(samples, 0.95);
+    out.p99 = percentile(samples, 0.99);
     return out;
   }
 
-  /// Nearest-rank percentile on a pre-sorted sample vector.
+  /// Linearly interpolated percentile on a pre-sorted sample vector (the
+  /// "exclusive" rank p * (n - 1); nearest-rank would bias the tail
+  /// percentiles of small bench sample sets).
   static double percentile(const std::vector<double>& sorted, double p) {
     if (sorted.empty()) throw std::invalid_argument("percentile: no samples");
     const double rank = p * static_cast<double>(sorted.size() - 1);

@@ -33,6 +33,7 @@
 #include "alloc/pool.hpp"
 #include "common/align.hpp"
 #include "common/backoff.hpp"
+#include "common/metrics.hpp"
 #include "reclaim/ebr.hpp"
 #include "reclaim/hazard.hpp"
 #include "reclaim/leaky.hpp"
@@ -150,6 +151,7 @@ class harris_list {
         return true;
       }
       node::template destroy<Alloc>(fresh);
+      LFST_M_COUNT(::lfst::metrics::cid::harris_add_retries);
       bo();
     }
   }
@@ -168,6 +170,7 @@ class harris_list {
       if (!victim->next.compare_exchange_strong(
               w, node::mark(w), std::memory_order_acq_rel,
               std::memory_order_acquire)) {
+        LFST_M_COUNT(::lfst::metrics::cid::harris_remove_retries);
         bo();
         continue;
       }
@@ -177,6 +180,7 @@ class harris_list {
       if (pos.prev_link->compare_exchange_strong(
               expected, node::pack(node::ptr(w), false),
               std::memory_order_acq_rel, std::memory_order_acquire)) {
+        LFST_M_COUNT(::lfst::metrics::cid::harris_physical_removals);
         Reclaim::retire(domain_, victim->template as_retired<Alloc>());
       } else {
         find(v);  // help: snips the marked node, retires it there
@@ -243,6 +247,7 @@ class harris_list {
                 std::memory_order_acq_rel, std::memory_order_acquire)) {
           goto retry;  // prev changed: restart
         }
+        LFST_M_COUNT(::lfst::metrics::cid::harris_physical_removals);
         Reclaim::retire(domain_, curr->template as_retired<Alloc>());
         curr = node::ptr(w);
         if (curr == nullptr) return position{prev_link, nullptr, false};
@@ -321,6 +326,7 @@ class harris_list_hp {
         return true;
       }
       node::template destroy<Alloc>(fresh);
+      LFST_M_COUNT(::lfst::metrics::cid::harris_add_retries);
       bo();
     }
   }
@@ -338,6 +344,7 @@ class harris_list_hp {
       if (!victim->next.compare_exchange_strong(
               w, node::mark(w), std::memory_order_acq_rel,
               std::memory_order_acquire)) {
+        LFST_M_COUNT(::lfst::metrics::cid::harris_remove_retries);
         bo();
         continue;
       }
@@ -346,6 +353,7 @@ class harris_list_hp {
       if (pos.prev_link->compare_exchange_strong(
               expected, node::pack(node::ptr(w), false),
               std::memory_order_acq_rel, std::memory_order_acquire)) {
+        LFST_M_COUNT(::lfst::metrics::cid::harris_physical_removals);
         domain_.retire(victim->template as_retired<Alloc>());
       } else {
         position dummy{};
@@ -453,6 +461,7 @@ class harris_list_hp {
                 std::memory_order_acquire)) {
           goto retry;
         }
+        LFST_M_COUNT(::lfst::metrics::cid::harris_physical_removals);
         domain_.retire(curr->template as_retired<Alloc>());
         continue;  // window unchanged; examine `next` via prev_link re-read
       }

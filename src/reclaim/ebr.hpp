@@ -33,6 +33,7 @@
 
 #include "common/align.hpp"
 #include "common/failpoint.hpp"
+#include "common/metrics.hpp"
 #include "reclaim/retired.hpp"
 
 namespace lfst::reclaim {
@@ -120,6 +121,9 @@ class ebr_domain {
     // time, and a reader pinned there could outlive the grace period.
     const std::uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
     stash(s, g, b);
+    LFST_M_COUNT(::lfst::metrics::cid::ebr_retires);
+    LFST_M_HIST(::lfst::metrics::hid::ebr_limbo_depth,
+                s.limbo[0].size() + s.limbo[1].size() + s.limbo[2].size());
     if (++s.retire_ticks >= kAdvanceEvery) {
       s.retire_ticks = 0;
       try_advance();
@@ -298,11 +302,27 @@ class ebr_domain {
     for (std::size_t i = 0; i < n; ++i) {
       const std::uint64_t e =
           slots_[i].epoch.load(std::memory_order_seq_cst);
-      if (e != detail::ebr_slot::kQuiescent && e != g) return false;
+      if (e != detail::ebr_slot::kQuiescent && e != g) {
+        LFST_M_COUNT(::lfst::metrics::cid::ebr_advance_stalls);
+        return false;
+      }
     }
     std::uint64_t expected = g;
-    global_epoch_.compare_exchange_strong(expected, g + 1,
-                                          std::memory_order_seq_cst);
+    if (global_epoch_.compare_exchange_strong(expected, g + 1,
+                                              std::memory_order_seq_cst)) {
+      LFST_M_COUNT(::lfst::metrics::cid::ebr_advances);
+      LFST_M_TRACE(::lfst::metrics::eid::ebr_advance, g + 1);
+#if defined(LFST_METRICS)
+      // Inter-advance latency: tsc delta between consecutive successful
+      // advances of this domain (first advance seeds the baseline).
+      const std::uint64_t now = ::lfst::metrics::tsc_now();
+      const std::uint64_t prev =
+          last_advance_tsc_.exchange(now, std::memory_order_relaxed);
+      if (prev != 0) {
+        LFST_M_HIST(::lfst::metrics::hid::ebr_advance_ticks, now - prev);
+      }
+#endif
+    }
     return true;  // advanced, or somebody else did
   }
 
@@ -331,6 +351,9 @@ class ebr_domain {
   const std::uint64_t id_;
   std::atomic<std::uint64_t> global_epoch_{1};
   std::atomic<std::size_t> high_water_{0};
+#if defined(LFST_METRICS)
+  std::atomic<std::uint64_t> last_advance_tsc_{0};
+#endif
   detail::ebr_slot slots_[kMaxThreads];
 
   friend class guard;

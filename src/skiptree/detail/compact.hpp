@@ -42,24 +42,32 @@ struct compact_ops {
   static bool remove(Core& core, const T& v) {
     search s = traverse_and_cleanup(core, v);
     backoff bo;
+    LFST_M_TALLY(lfst_m_retries);
     for (;;) {
-      if (s.index < 0) return false;  // linearized at the leaf payload read
+      if (s.index < 0) {
+        LFST_M_HIST(::lfst::metrics::hid::skiptree_cas_retries_per_op,
+                    lfst_m_retries);
+        return false;  // linearized at the leaf payload read
+      }
       contents_t* repl;
       try {
         repl = contents_t::template copy_leaf_erase<Alloc>(
             *s.cts, static_cast<std::uint32_t>(s.index));
       } catch (const std::bad_alloc&) {
-        core.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+        core.bump(tree_counter::alloc_failures);
         throw;
       }
       if (core.cas_payload(s.node, s.cts, repl)) {
         // Linearization point of a successful remove.
         core.retire(s.cts);
         core.size.fetch_sub(1, std::memory_order_relaxed);
+        LFST_M_HIST(::lfst::metrics::hid::skiptree_cas_retries_per_op,
+                    lfst_m_retries);
         return true;
       }
       Core::destroy(repl);
-      core.cas_failures.fetch_add(1, std::memory_order_relaxed);
+      core.bump(tree_counter::cas_failures);
+      LFST_M_TALLY_INC(lfst_m_retries);
       bo();
       s = core.move_forward(s.node, v);
     }
@@ -115,7 +123,7 @@ struct compact_ops {
       } catch (const std::bad_alloc&) {
         // Can't afford the repair: step over empty nodes the wait-free way
         // (exactly what readers do) and leave the bypass to a later pass.
-        core.compactions_skipped.fetch_add(1, std::memory_order_relaxed);
+        core.bump(tree_counter::compactions_skipped);
         for (;;) {
           if (!ncts->empty()) return next;
           next = ncts->link;
@@ -126,7 +134,8 @@ struct compact_ops {
       LFST_FP_POINT("skiptree.compact.8a");
       if (core.cas_payload(nd, cts, repl)) {
         core.retire(cts);
-        core.empty_bypasses.fetch_add(1, std::memory_order_relaxed);
+        core.bump(tree_counter::empty_bypasses);
+        LFST_M_TRACE(::lfst::metrics::eid::skiptree_compact_8a, 0);
         cts = repl;
       } else {
         // cts reloaded; nd changed under us.  Moving right remains safe
@@ -166,16 +175,18 @@ struct compact_ops {
         repl =
             contents_t::template copy_with_child<Alloc>(*cts, idx, ccts->link);
       } catch (const std::bad_alloc&) {
-        core.compactions_skipped.fetch_add(1, std::memory_order_relaxed);
+        core.bump(tree_counter::compactions_skipped);
         return;  // repair is optional; the descent recovers over links
       }
       LFST_FP_POINT("skiptree.compact.8b");
       if (core.cas_payload(nd, cts, repl)) {
         core.retire(cts);
         if (ccts->empty()) {
-          core.empty_bypasses.fetch_add(1, std::memory_order_relaxed);
+          core.bump(tree_counter::empty_bypasses);
+          LFST_M_TRACE(::lfst::metrics::eid::skiptree_compact_8a, idx);
         } else {
-          core.ref_repairs.fetch_add(1, std::memory_order_relaxed);
+          core.bump(tree_counter::ref_repairs);
+          LFST_M_TRACE(::lfst::metrics::eid::skiptree_compact_8b, idx);
         }
       } else {
         Core::destroy(repl);
@@ -195,13 +206,14 @@ struct compact_ops {
         try {
           repl = contents_t::template copy_drop_key_child<Alloc>(*cts, j);
         } catch (const std::bad_alloc&) {
-          core.compactions_skipped.fetch_add(1, std::memory_order_relaxed);
+          core.bump(tree_counter::compactions_skipped);
           return;
         }
         LFST_FP_POINT("skiptree.compact.8c");
         if (core.cas_payload(nd, cts, repl)) {
           core.retire(cts);
-          core.duplicate_drops.fetch_add(1, std::memory_order_relaxed);
+          core.bump(tree_counter::duplicate_drops);
+          LFST_M_TRACE(::lfst::metrics::eid::skiptree_compact_8c, j);
         } else {
           Core::destroy(repl);
         }
@@ -242,7 +254,7 @@ struct compact_ops {
       grown = contents_t::template copy_prepend<Alloc>(
           *succ_cts, key, scts->children()[j]);
     } catch (const std::bad_alloc&) {
-      core.compactions_skipped.fetch_add(1, std::memory_order_relaxed);
+      core.bump(tree_counter::compactions_skipped);
       return;  // migration not started; nothing to undo
     }
     LFST_FP_POINT("skiptree.compact.8d");
@@ -258,12 +270,13 @@ struct compact_ops {
       // The copy landed but the erase can't be built: the element now exists
       // in both nodes, which routing levels tolerate (Theorem 1); a later
       // pass finishes the job.
-      core.compactions_skipped.fetch_add(1, std::memory_order_relaxed);
+      core.bump(tree_counter::compactions_skipped);
       return;
     }
     if (core.cas_payload(src, scts, shrunk)) {
       core.retire(scts);
-      core.migrations.fetch_add(1, std::memory_order_relaxed);
+      core.bump(tree_counter::migrations);
+      LFST_M_TRACE(::lfst::metrics::eid::skiptree_compact_8d, j);
     } else {
       Core::destroy(shrunk);
     }

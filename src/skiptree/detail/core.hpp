@@ -38,11 +38,47 @@
 #include "alloc/pool.hpp"
 #include "common/align.hpp"
 #include "common/failpoint.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "reclaim/ebr.hpp"
 #include "skiptree/contents.hpp"
 
 namespace lfst::skiptree {
+
+/// Structural event ids, one per diagnostic counter a tree keeps about
+/// itself.  The order MUST mirror the `skiptree_*` block of `metrics::cid`
+/// (common/metrics.hpp): per-tree bumps are forwarded to the process-wide
+/// registry with a single static_cast.
+enum class tree_counter : std::uint16_t {
+  cas_failures = 0,     ///< lost CAS races (contention probe)
+  splits,
+  root_raises,
+  empty_bypasses,
+  ref_repairs,
+  duplicate_drops,
+  migrations,
+  alloc_failures,       ///< bad_alloc seen by a mutation
+  compactions_skipped,  ///< repairs abandoned under OOM
+  kCount
+};
+
+static_assert(static_cast<std::uint16_t>(metrics::cid::skiptree_cas_failures) ==
+              static_cast<std::uint16_t>(tree_counter::cas_failures));
+static_assert(
+    static_cast<std::uint16_t>(metrics::cid::skiptree_compactions_skipped) ==
+    static_cast<std::uint16_t>(tree_counter::compactions_skipped));
+
+/// Short name of a tree counter (the validator's metrics section uses these).
+constexpr std::string_view tree_counter_name(tree_counter c) noexcept {
+  constexpr std::string_view names[] = {
+      "cas_failures",    "splits",          "root_raises",
+      "empty_bypasses",  "ref_repairs",     "duplicate_drops",
+      "migrations",      "alloc_failures",  "compactions_skipped",
+  };
+  static_assert(sizeof(names) / sizeof(names[0]) ==
+                static_cast<std::size_t>(tree_counter::kCount));
+  return names[static_cast<std::size_t>(c)];
+}
 
 /// Tuning knobs.  The paper controls the tree with a single parameter, the
 /// geometric failure rate q (best value q = 1/32, Sec. V); `q_log2`
@@ -88,15 +124,17 @@ struct tree_core {
   alignas(kFalseSharingRange) std::atomic<std::ptrdiff_t> size{0};
 
   // Structural event counters (diagnostics; relaxed, off the fast path).
-  std::atomic<std::uint64_t> cas_failures{0};
-  std::atomic<std::uint64_t> splits{0};
-  std::atomic<std::uint64_t> root_raises{0};
-  std::atomic<std::uint64_t> empty_bypasses{0};
-  std::atomic<std::uint64_t> ref_repairs{0};
-  std::atomic<std::uint64_t> duplicate_drops{0};
-  std::atomic<std::uint64_t> migrations{0};
-  std::atomic<std::uint64_t> alloc_failures{0};
-  std::atomic<std::uint64_t> compactions_skipped{0};
+  // Per-instance and always on -- tests assert exact per-tree counts, which a
+  // process-wide slot cannot give them.  `bump` is the only writer; under
+  // LFST_METRICS it also mirrors the event into the global registry so
+  // cross-structure dumps see every tree's events combined.
+  metrics::instance_counters<tree_counter> counters;
+
+  void bump(tree_counter c) noexcept {
+    counters.inc(c);
+    LFST_M_COUNT(static_cast<metrics::cid>(
+        static_cast<std::uint16_t>(c)));
+  }
 
   // --- lifecycle -------------------------------------------------------------
 

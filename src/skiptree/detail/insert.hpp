@@ -48,7 +48,7 @@ struct insert_ops {
     try {
       if (!insert_list(core, v, srchs.data(), nullptr, 0)) return false;
     } catch (const std::bad_alloc&) {
-      core.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+      core.bump(tree_counter::alloc_failures);
       throw;  // pre-linearization: the set is unchanged
     }
     core.size.fetch_add(1, std::memory_order_relaxed);
@@ -62,7 +62,7 @@ struct insert_ops {
       // Post-linearization: v is in the set and cannot be un-added.  Stop
       // raising; the tree stays valid (splits/copies either published fully
       // or not at all) and only optimality degrades.
-      core.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+      core.bump(tree_counter::alloc_failures);
     }
     return true;
   }
@@ -79,25 +79,32 @@ struct insert_ops {
       try {
         head = increase_root_height(core, h);
       } catch (const std::bad_alloc&) {
-        core.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+        core.bump(tree_counter::alloc_failures);
         head = core.root.load(std::memory_order_acquire);
       }
     }
     if (h > head->height) h = head->height;
     int level = head->height;
     node_t* nd = head->node;
+    LFST_M_TALLY(lfst_m_depth);
     for (;;) {
       contents_t* cts = Core::load_payload(nd);
       const int i = core.search_keys(*cts, v);
       if (Core::is_past_end(i, *cts)) {
         nd = cts->link;
+        LFST_M_TALLY_INC(lfst_m_depth);
       } else {
         if (level <= h) {
           srchs[level] = search{nd, cts, i};
         }
-        if (level == 0) return h;
+        if (level == 0) {
+          LFST_M_HIST(::lfst::metrics::hid::skiptree_traversal_depth,
+                      lfst_m_depth);
+          return h;
+        }
         nd = cts->children()[Core::descend_index(i)];
         --level;
+        LFST_M_TALLY_INC(lfst_m_depth);
       }
     }
   }
@@ -119,7 +126,9 @@ struct insert_ops {
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
         Reclaim::retire(core.domain, head);
-        core.root_raises.fetch_add(1, std::memory_order_relaxed);
+        core.bump(tree_counter::root_raises);
+        LFST_M_TRACE(::lfst::metrics::eid::skiptree_root_raise,
+                     static_cast<std::uint64_t>(grown->height));
         head = grown;
       } else {
         // Lost the race: `top` stays in the arena (freed with the tree),
@@ -143,8 +152,13 @@ struct insert_ops {
     contents_t* cts = s.cts;
     int i = s.index;
     backoff bo;
+    LFST_M_TALLY(lfst_m_retries);
     for (;;) {
-      if (i >= 0) return false;  // already present at this level
+      if (i >= 0) {
+        LFST_M_HIST(::lfst::metrics::hid::skiptree_cas_retries_per_op,
+                    lfst_m_retries);
+        return false;  // already present at this level
+      }
       if (Core::is_past_end(i, *cts)) {
         // v exceeds every element (or the node is empty: inserting into an
         // empty node is forbidden); move along the level.
@@ -164,10 +178,13 @@ struct insert_ops {
       if (core.cas_payload(nd, cts, repl)) {
         core.retire(cts);
         s = search{nd, repl, static_cast<int>(pos)};
+        LFST_M_HIST(::lfst::metrics::hid::skiptree_cas_retries_per_op,
+                    lfst_m_retries);
         return true;
       }
       Core::destroy(repl);
-      core.cas_failures.fetch_add(1, std::memory_order_relaxed);
+      core.bump(tree_counter::cas_failures);
+      LFST_M_TALLY_INC(lfst_m_retries);
       // cts now holds nd's current payload (CAS reloads on failure).
       bo();
       i = core.search_keys(*cts, v);
@@ -217,12 +234,14 @@ struct insert_ops {
       LFST_FP_POINT("skiptree.split.publish");
       if (core.cas_payload(nd, cts, left)) {
         core.retire(cts);
-        core.splits.fetch_add(1, std::memory_order_relaxed);
+        core.bump(tree_counter::splits);
+        LFST_M_TRACE(::lfst::metrics::eid::skiptree_split,
+                     static_cast<std::uint64_t>(pos));
         s = search{nd, left, static_cast<int>(pos)};
         return rnode;
       }
       Core::destroy(left);
-      core.cas_failures.fetch_add(1, std::memory_order_relaxed);
+      core.bump(tree_counter::cas_failures);
       bo();
       // cts reloaded by the failed CAS; retry (possibly moving forward).
     }
@@ -242,7 +261,7 @@ struct insert_ops {
         repl = contents_t::template copy_leaf_assign<Alloc>(
             *s.cts, static_cast<std::uint32_t>(s.index), v);
       } catch (const std::bad_alloc&) {
-        core.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+        core.bump(tree_counter::alloc_failures);
         throw;
       }
       if (core.cas_payload(s.node, s.cts, repl)) {

@@ -36,13 +36,16 @@ struct traverse_ops {
     const node_t* nd = head->node;
     const contents_t* cts = Core::load_payload(nd);
     i = core.search_keys(*cts, v);
+    LFST_M_TALLY(lfst_m_depth);
     while (!cts->leaf) {
       LFST_FP_POINT("skiptree.traverse.step");
       nd = Core::is_past_end(i, *cts) ? cts->link
                                       : cts->children()[Core::descend_index(i)];
       cts = Core::load_payload(nd);
       i = core.search_keys(*cts, v);
+      LFST_M_TALLY_INC(lfst_m_depth);
     }
+    LFST_M_HIST(::lfst::metrics::hid::skiptree_traversal_depth, lfst_m_depth);
     return cts;
   }
 

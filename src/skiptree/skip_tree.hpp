@@ -226,7 +226,9 @@ class skip_tree {
   domain_t& domain() noexcept { return core_.domain; }
 
   /// Structural event counters (diagnostics; relaxed, updated off the fast
-  /// path only).
+  /// path only).  Compatibility shim over the tree's `tree_counter` array
+  /// (detail/core.hpp) -- the snapshot is generated from the metrics layer's
+  /// `instance_counters`, one field per `tree_counter` in enum order.
   struct structural_stats {
     std::uint64_t cas_failures = 0;  ///< lost CAS races (contention probe)
     std::uint64_t splits = 0;
@@ -240,15 +242,18 @@ class skip_tree {
   };
 
   structural_stats stats() const noexcept {
-    return {core_.cas_failures.load(std::memory_order_relaxed),
-            core_.splits.load(std::memory_order_relaxed),
-            core_.root_raises.load(std::memory_order_relaxed),
-            core_.empty_bypasses.load(std::memory_order_relaxed),
-            core_.ref_repairs.load(std::memory_order_relaxed),
-            core_.duplicate_drops.load(std::memory_order_relaxed),
-            core_.migrations.load(std::memory_order_relaxed),
-            core_.alloc_failures.load(std::memory_order_relaxed),
-            core_.compactions_skipped.load(std::memory_order_relaxed)};
+    const auto c = core_.counters.snapshot();
+    static_assert(c.size() == 9,
+                  "structural_stats must mirror tree_counter exactly");
+    return {c[static_cast<std::size_t>(tree_counter::cas_failures)],
+            c[static_cast<std::size_t>(tree_counter::splits)],
+            c[static_cast<std::size_t>(tree_counter::root_raises)],
+            c[static_cast<std::size_t>(tree_counter::empty_bypasses)],
+            c[static_cast<std::size_t>(tree_counter::ref_repairs)],
+            c[static_cast<std::size_t>(tree_counter::duplicate_drops)],
+            c[static_cast<std::size_t>(tree_counter::migrations)],
+            c[static_cast<std::size_t>(tree_counter::alloc_failures)],
+            c[static_cast<std::size_t>(tree_counter::compactions_skipped)]};
   }
 
  private:

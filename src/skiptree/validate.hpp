@@ -32,6 +32,9 @@
 #include <vector>
 
 #include "skiptree/skip_tree.hpp"
+#if defined(LFST_METRICS)
+#include "common/metrics_export.hpp"
+#endif
 
 namespace lfst::skiptree {
 
@@ -47,6 +50,11 @@ struct validation_report {
   std::size_t duplicate_ref_pairs = 0;
   std::vector<std::size_t> nodes_per_level;  // index = level
 
+  /// Live counter snapshot taken when validation fails (post-mortem aid for
+  /// chaos runs: what the tree had been doing before it went wrong).  Empty
+  /// on success and for raw (tree-less) validations.
+  std::string metrics_text;
+
   void fail(std::string msg) {
     ok = false;
     errors.push_back(std::move(msg));
@@ -58,6 +66,7 @@ struct validation_report {
        << empty_nodes << " empty, " << suboptimal_refs << " suboptimal refs, "
        << duplicate_ref_pairs << " duplicate ref pairs";
     for (const std::string& e : errors) os << "\n  error: " << e;
+    if (!metrics_text.empty()) os << "\n  metrics: " << metrics_text;
     return os.str();
   }
 };
@@ -113,7 +122,25 @@ class skip_tree_inspector {
                " but leaf level holds " + std::to_string(leaf.size()) +
                " keys");
     }
+    if (!rep.ok) rep.metrics_text = metrics_text();
     return rep;
+  }
+
+  /// One-line dump of this tree's structural counters (plus, in metrics
+  /// builds, the process-wide registry) for failure reports.
+  std::string metrics_text() const {
+    std::ostringstream os;
+    const auto snap = tree_.core_.counters.snapshot();
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      if (i > 0) os << " ";
+      os << tree_counter_name(static_cast<tree_counter>(i)) << "="
+         << snap[i];
+    }
+#if defined(LFST_METRICS)
+    os << "\n  global metrics:\n"
+       << metrics::to_table(metrics::registry::instance().aggregate());
+#endif
+    return os.str();
   }
 
   /// Validate a raw (head node, height) pair -- the core of validate(),

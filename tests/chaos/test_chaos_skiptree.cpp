@@ -34,9 +34,16 @@
 #include <vector>
 
 #include "common/failpoint.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "skiptree/skip_tree.hpp"
 #include "skiptree/validate.hpp"
+
+#if defined(LFST_METRICS)
+#include <cstdio>
+
+#include "common/metrics_export.hpp"
+#endif
 
 namespace lfst::skiptree {
 namespace {
@@ -77,6 +84,9 @@ struct schedule {
 
 void arm(const schedule& s) {
   registry::instance().reset_all();
+  // Start each schedule from a clean metrics slate so the post-run dump
+  // attributes every count to this fault family alone.
+  metrics::registry::instance().reset();
   if (s.oom) {
     for (const char* site : kAllocSites) {
       registry::instance().configure(
@@ -161,6 +171,15 @@ void run_schedule(const schedule& sched) {
 
   const std::uint64_t fires = total_fires();
   registry::instance().reset_all();  // quiescent, fault-free verification
+
+#if defined(LFST_METRICS)
+  // Post-mortem view of what the fault schedule actually perturbed: retry
+  // storms, skipped compactions, EBR lag.  Threads have joined, so the
+  // aggregation is exact.
+  std::printf("--- metrics after schedule '%s' ---\n%s\n", sched.name,
+              metrics::to_table(metrics::registry::instance().aggregate())
+                  .c_str());
+#endif
 
   std::set<int> expected;
   for (const auto& m : mirrors) expected.insert(m.begin(), m.end());

@@ -52,6 +52,20 @@ TEST(Summary, OfComputesAllFields) {
   EXPECT_DOUBLE_EQ(s.min, 1.0);
   EXPECT_DOUBLE_EQ(s.max, 5.0);
   EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  // Interpolated ranks: p95 at rank 0.95 * 4 = 3.8, p99 at rank 3.96.
+  EXPECT_DOUBLE_EQ(s.p95, 4.8);
+  EXPECT_DOUBLE_EQ(s.p99, 4.96);
+}
+
+TEST(Summary, TailPercentilesInterpolateOnSmallSets) {
+  // 10 samples: p99 sits at rank 0.99 * 9 = 8.91, between the two largest
+  // samples, not pinned to the max as nearest-rank would put it.
+  std::vector<double> samples;
+  for (int i = 1; i <= 10; ++i) samples.push_back(static_cast<double>(i));
+  summary s = summary::of(samples);
+  EXPECT_DOUBLE_EQ(s.p99, 9.91);
+  EXPECT_LT(s.p99, s.max);
+  EXPECT_DOUBLE_EQ(s.p95, 9.55);
 }
 
 TEST(Summary, OfThrowsOnEmpty) {

@@ -1,0 +1,167 @@
+// Instrumentation-site tests: only built under -DLFST_METRICS=ON, where the
+// LFST_M_* macros are live.  Each test drives a structure's hot path and
+// asserts the corresponding process-wide counters / histograms / traces
+// actually moved -- i.e. the sites are wired, not just compiled.
+#if !defined(LFST_METRICS)
+#error "test_metrics_sites must be compiled with -DLFST_METRICS"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "blinktree/blink_tree.hpp"
+#include "common/metrics.hpp"
+#include "list/harris_list.hpp"
+#include "skiplist/skip_list.hpp"
+#include "skiptree/skip_tree.hpp"
+
+namespace lfst {
+namespace {
+
+using metrics::cid;
+using metrics::eid;
+using metrics::hid;
+
+metrics::registry& reg() { return metrics::registry::instance(); }
+
+TEST(SkipTreeSites, GlobalCountersMirrorInstanceStats) {
+  reg().reset();
+  skiptree::skip_tree<long> tree;
+  for (long k = 0; k < 5000; ++k) tree.add(k);
+  for (long k = 0; k < 5000; k += 3) tree.remove(k);
+  const auto stats = tree.stats();
+  // Single tree, single thread, fresh registry: the global mirror must agree
+  // exactly with the per-instance counters.
+  EXPECT_EQ(reg().counter(cid::skiptree_cas_failures), stats.cas_failures);
+  EXPECT_EQ(reg().counter(cid::skiptree_splits), stats.splits);
+  EXPECT_EQ(reg().counter(cid::skiptree_root_raises), stats.root_raises);
+  EXPECT_EQ(reg().counter(cid::skiptree_empty_bypasses), stats.empty_bypasses);
+  EXPECT_EQ(reg().counter(cid::skiptree_migrations), stats.migrations);
+  EXPECT_GE(stats.splits, 1u);
+  reg().reset();
+}
+
+TEST(SkipTreeSites, HistogramsRecordEveryOperation) {
+  reg().reset();
+  skiptree::skip_tree<long> tree;
+  constexpr long kOps = 2000;
+  for (long k = 0; k < kOps; ++k) tree.add(k);
+  // At least one retry-histogram sample per mutation (element raises record
+  // extra samples), one depth sample per descent.
+  const auto retries = reg().histogram(hid::skiptree_cas_retries_per_op);
+  EXPECT_GE(retries.count, static_cast<std::uint64_t>(kOps));
+  // Uncontended adds retry zero times: every sample in bucket 0.
+  EXPECT_EQ(retries.buckets[0], retries.count);
+  const auto depth = reg().histogram(hid::skiptree_traversal_depth);
+  EXPECT_GE(depth.count, static_cast<std::uint64_t>(kOps));
+  reg().reset();
+}
+
+std::uint64_t nonzero_retry_samples() {
+  const auto retries = reg().histogram(hid::skiptree_cas_retries_per_op);
+  std::uint64_t n = 0;
+  for (int b = 1; b < metrics::log2_histogram::kBuckets; ++b) {
+    n += retries.buckets[static_cast<std::size_t>(b)];
+  }
+  return n;
+}
+
+TEST(SkipTreeSites, ContentionProducesNonZeroRetryBuckets) {
+  reg().reset();
+  skiptree::skip_tree<long> tree;
+  constexpr int kThreads = 4;
+  // An oversubscribed host can serialize one round's workers end-to-end
+  // (zero overlap, zero collisions), so repeat until a round contends; the
+  // registry accumulates across rounds.
+  for (int round = 0; round < 20 && nonzero_retry_samples() == 0; ++round) {
+    std::barrier sync(kThreads);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&tree, &sync, t] {
+        sync.arrive_and_wait();
+        // All threads hammer the same 64-key range so leaf CASes collide.
+        for (int i = 0; i < 20000; ++i) {
+          const long k = (i + t) % 64;
+          tree.add(k);
+          tree.remove(k);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  EXPECT_GT(nonzero_retry_samples(), 0u);
+  const auto retries = reg().histogram(hid::skiptree_cas_retries_per_op);
+  // Every tallied retry corresponds to a cas_failures bump; split-loop CAS
+  // failures are counted but not tallied per-op, hence >= not ==.
+  EXPECT_GE(reg().counter(cid::skiptree_cas_failures), retries.sum);
+  reg().reset();
+}
+
+TEST(SkipTreeSites, SplitEventsLandInTrace) {
+  reg().reset();
+  skiptree::skip_tree<long> tree;
+  for (long k = 0; k < 5000; ++k) tree.add(k);
+  const auto dump = reg().drain_trace();
+  bool saw_split = false, saw_raise = false;
+  for (const auto& rec : dump) {
+    if (rec.id == eid::skiptree_split) saw_split = true;
+    if (rec.id == eid::skiptree_root_raise) saw_raise = true;
+  }
+  EXPECT_TRUE(saw_split);
+  EXPECT_TRUE(saw_raise);
+  reg().reset();
+}
+
+TEST(PoolSites, AllocationPathsCount) {
+  reg().reset();
+  // skip_tree allocates through the shared pool by default.
+  skiptree::skip_tree<long> tree;
+  for (long k = 0; k < 3000; ++k) tree.add(k);
+  EXPECT_GT(reg().counter(cid::pool_hits), 0u);
+  EXPECT_GT(reg().counter(cid::pool_refills), 0u);
+  reg().reset();
+}
+
+TEST(EbrSites, RetiresAndLimboDepthCount) {
+  reg().reset();
+  skiptree::skip_tree<long> tree;
+  for (long k = 0; k < 2000; ++k) tree.add(k);
+  for (long k = 0; k < 2000; ++k) tree.remove(k);
+  EXPECT_GT(reg().counter(cid::ebr_retires), 0u);
+  const auto limbo = reg().histogram(hid::ebr_limbo_depth);
+  EXPECT_EQ(limbo.count, reg().counter(cid::ebr_retires));
+  reg().reset();
+}
+
+TEST(ListSites, PhysicalRemovalsCount) {
+  reg().reset();
+  list::harris_list<long> hl;
+  for (long k = 0; k < 500; ++k) hl.add(k);
+  for (long k = 0; k < 500; ++k) hl.remove(k);
+  EXPECT_EQ(reg().counter(cid::harris_physical_removals), 500u);
+  skiplist::skip_list<long> sl;
+  for (long k = 0; k < 500; ++k) sl.add(k);
+  for (long k = 0; k < 500; ++k) sl.remove(k);
+  EXPECT_GT(reg().counter(cid::skiplist_physical_unlinks), 0u);
+  reg().reset();
+}
+
+TEST(BlinkSites, SplitsCount) {
+  reg().reset();
+  blinktree::blink_tree_options o;
+  o.min_node_size = 128;  // small nodes so a modest load forces splits
+  blinktree::blink_tree<long> bt(o);
+  for (long k = 0; k < 5000; ++k) bt.add(k);
+  EXPECT_GT(reg().counter(cid::blink_splits), 0u);
+  EXPECT_GT(reg().counter(cid::blink_root_splits), 0u);
+  EXPECT_EQ(reg().counter(cid::blink_half_split_repairs),
+            reg().counter(cid::blink_splits) -
+                reg().counter(cid::blink_root_splits));
+  reg().reset();
+}
+
+}  // namespace
+}  // namespace lfst
