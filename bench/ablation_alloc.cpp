@@ -32,6 +32,7 @@ double throughput(const scenario& sc, Factory&& f) {
 
 int main(int argc, char** argv) {
   lfst::bench::metrics_reporter metrics(argc, argv);
+  lfst::bench::trace_reporter traces(argc, argv);
   const bench_config cfg = bench_config::from_env();
   lfst::bench::print_header(
       "Ablation D: allocation policy (pooled slabs vs global heap)", cfg);

@@ -16,16 +16,30 @@
 // writes a JSON-lines dump of the metrics registry on exit.  The counters
 // are only populated in -DLFST_METRICS=ON builds; an OFF build writes an
 // all-zero dump, making the flag safe to leave in scripts.
+//
+// Two more sidecars complete the observability pipeline:
+//
+//   --bench-json[=PATH]  (env LFST_BENCH_JSON)   machine-readable summary of
+//       every measured configuration -- the file tools/bench_gate.py diffs
+//       against the checked-in BENCH_*.json baselines;
+//   --trace-json[=PATH] / --trace-bin[=PATH] (env LFST_TRACE_JSON /
+//       LFST_TRACE_BIN)  span-trace dumps, Chrome/Perfetto JSON or the
+//       compact binary that tools/trace2perfetto.py converts.  Meaningful in
+//       -DLFST_TRACE=ON builds; an OFF build writes an empty trace.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.hpp"
 #include "common/metrics_export.hpp"
+#include "common/stats.hpp"
+#include "common/trace.hpp"
+#include "common/trace_export.hpp"
 #include "workload/table.hpp"
 #include "workload/workload.hpp"
 
@@ -129,6 +143,169 @@ class metrics_reporter {
 
  private:
   std::string path_;
+};
+
+/// Consume `--flag` / `--flag=PATH` from argv, falling back to `env`.
+/// Returns the chosen path ("" when the sidecar was not requested;
+/// `fallback` when the flag was given valueless).
+inline std::string consume_path_flag(int& argc, char** argv, const char* flag,
+                                     const char* env, const char* fallback) {
+  std::string path;
+  if (const char* e = std::getenv(env); e != nullptr && *e != '\0') path = e;
+  const std::size_t flen = std::strlen(flag);
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], flag) == 0) {
+      if (path.empty()) path = fallback;
+      continue;
+    }
+    if (std::strncmp(argv[r], flag, flen) == 0 && argv[r][flen] == '=') {
+      path = argv[r] + flen + 1;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  argc = w;
+  return path;
+}
+
+/// Machine-readable bench summary sidecar: every measured configuration is
+/// record()ed as it completes; destruction writes one JSON document that
+/// tools/bench_gate.py diffs against a checked-in baseline.  Entry names
+/// must be stable across runs (the gate joins baseline and candidate on
+/// them) and unique within a run.
+class bench_json_reporter {
+ public:
+  bench_json_reporter(const char* bench, int& argc, char** argv)
+      : bench_(bench),
+        path_(consume_path_flag(argc, argv, "--bench-json", "LFST_BENCH_JSON",
+                                "bench.json")) {}
+
+  bench_json_reporter(const bench_json_reporter&) = delete;
+  bench_json_reporter& operator=(const bench_json_reporter&) = delete;
+
+  bool enabled() const noexcept { return !path_.empty(); }
+
+  /// Record one configuration's throughput summary (ops/ms over trials)
+  /// plus any extra named scalars (health occupancy, backlog, ...).
+  void record(std::string name, int threads, const summary& s,
+              std::vector<std::pair<std::string, double>> extra = {}) {
+    entries_.push_back(
+        entry{std::move(name), threads, s, std::move(extra)});
+  }
+
+  ~bench_json_reporter() {
+    if (path_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench json: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"entries\":[",
+                 metrics::json_escape(bench_).c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const entry& e = entries_[i];
+      const summary& s = e.stats;
+      std::fprintf(
+          f,
+          "%s\n {\"name\":\"%s\",\"threads\":%d,\"trials\":%zu,"
+          "\"ops_per_ms\":{\"mean\":%.6g,\"stddev\":%.6g,\"min\":%.6g,"
+          "\"max\":%.6g,\"p50\":%.6g,\"p90\":%.6g,\"p95\":%.6g,"
+          "\"p99\":%.6g}",
+          i == 0 ? "" : ",", metrics::json_escape(e.name).c_str(), e.threads,
+          s.count, s.mean, s.stddev, s.min, s.max, s.p50, s.p90, s.p95, s.p99);
+      if (!e.extra.empty()) {
+        std::fprintf(f, ",\"extra\":{");
+        for (std::size_t j = 0; j < e.extra.size(); ++j) {
+          std::fprintf(f, "%s\"%s\":%.6g", j == 0 ? "" : ",",
+                       metrics::json_escape(e.extra[j].first).c_str(),
+                       e.extra[j].second);
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n],\"retry_hists\":{");
+    // Retry-shape context rides along so a regression diff can distinguish
+    // "slower because contending more" from "slower, same contention".
+    // Nonzero log2 buckets only; all-zero in metrics-OFF builds.
+    const auto snap = metrics::registry::instance().aggregate();
+    bool first_h = true;
+    for (const auto& h : snap.histograms) {
+      if (h.name.find("retries") == std::string_view::npos) continue;
+      std::fprintf(f, "%s\"%s\":[", first_h ? "" : ",",
+                   metrics::json_escape(h.name).c_str());
+      first_h = false;
+      bool first_b = true;
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        if (h.buckets[b] == 0) continue;
+        std::fprintf(f, "%s[%zu,%llu]", first_b ? "" : ",", b,
+                     static_cast<unsigned long long>(h.buckets[b]));
+        first_b = false;
+      }
+      std::fprintf(f, "]");
+    }
+    std::fprintf(f, "}}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "bench json written to %s\n", path_.c_str());
+  }
+
+ private:
+  struct entry {
+    std::string name;
+    int threads;
+    summary stats;
+    std::vector<std::pair<std::string, double>> extra;
+  };
+
+  std::string bench_;
+  std::string path_;
+  std::vector<entry> entries_;
+};
+
+/// Span-trace sidecar: on destruction, drains the trace registry and writes
+/// the Chrome/Perfetto JSON (--trace-json) and/or the compact binary
+/// (--trace-bin).  Rings fill only in -DLFST_TRACE=ON builds; elsewhere the
+/// files are valid but empty, so the flags are safe to leave in scripts.
+class trace_reporter {
+ public:
+  trace_reporter(int& argc, char** argv)
+      : json_path_(consume_path_flag(argc, argv, "--trace-json",
+                                     "LFST_TRACE_JSON", "trace.json")),
+        bin_path_(consume_path_flag(argc, argv, "--trace-bin",
+                                    "LFST_TRACE_BIN", "trace.bin")) {}
+
+  trace_reporter(const trace_reporter&) = delete;
+  trace_reporter& operator=(const trace_reporter&) = delete;
+
+  ~trace_reporter() {
+    if (json_path_.empty() && bin_path_.empty()) return;
+    const auto& reg = trace::trace_registry::instance();
+    const auto spans = reg.drain();
+    const double tpu = reg.ticks_per_us();
+    if (!json_path_.empty()) {
+      if (trace::write_chrome_json_file(json_path_, spans, tpu)) {
+        std::fprintf(stderr, "trace json (%zu spans) written to %s\n",
+                     spans.size(), json_path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace json: cannot write %s\n",
+                     json_path_.c_str());
+      }
+    }
+    if (!bin_path_.empty()) {
+      if (trace::write_binary_file(bin_path_, spans, tpu)) {
+        std::fprintf(stderr, "trace bin (%zu spans) written to %s\n",
+                     spans.size(), bin_path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace bin: cannot write %s\n",
+                     bin_path_.c_str());
+      }
+    }
+  }
+
+ private:
+  std::string json_path_;
+  std::string bin_path_;
 };
 
 }  // namespace lfst::bench

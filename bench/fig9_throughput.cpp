@@ -8,16 +8,19 @@
 // the summary ratios the paper quotes in the text (skip-tree vs skip-list
 // average +41%, +129% on the large read-dominated panel, etc.) computed
 // from THIS run's numbers, so the shape comparison is self-contained.
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "avltree/opt_tree.hpp"
 #include "bench_common.hpp"
 #include "blinktree/blink_tree.hpp"
 #include "skiplist/skip_list.hpp"
+#include "skiptree/health.hpp"
 #include "skiptree/skip_tree.hpp"
 
 namespace {
@@ -48,27 +51,88 @@ std::unique_ptr<lfst::blinktree::blink_tree<key>> make_blink_tree() {
   return std::make_unique<lfst::blinktree::blink_tree<key>>(o);
 }
 
+using extras_t = std::vector<std::pair<std::string, double>>;
+
 struct entry {
   const char* name;
-  std::function<summary(const scenario&)> run;
+  std::function<summary(const scenario&, extras_t&)> run;
+};
+
+/// Per-trial observer for the skip-tree entries: a structural-health ticker
+/// sampling the live tree through the timed trial, accumulating the series
+/// means into the bench-JSON extras so a regression diff can correlate a
+/// throughput change with a structural one.
+struct health_accumulator {
+  double occupancy_sum = 0.0;
+  double backlog_sum = 0.0;
+  std::size_t samples = 0;
+
+  struct scope {
+    std::unique_ptr<lfst::skiptree::health_ticker<key>> ticker;
+    health_accumulator* acc;
+
+    scope(std::unique_ptr<lfst::skiptree::health_ticker<key>> t,
+          health_accumulator* a)
+        : ticker(std::move(t)), acc(a) {}
+    scope(scope&&) = default;
+    ~scope() {
+      if (ticker == nullptr) return;
+      ticker->stop();
+      for (const auto& s : ticker->samples()) {
+        acc->occupancy_sum += s.occupancy_pct();
+        acc->backlog_sum += static_cast<double>(s.compaction_backlog());
+        ++acc->samples;
+      }
+    }
+  };
+
+  scope observe(lfst::skiptree::skip_tree<key>& tree) {
+    auto t = std::make_unique<lfst::skiptree::health_ticker<key>>(
+        tree, std::chrono::microseconds(500));
+    t->start();
+    return scope{std::move(t), this};
+  }
+
+  void flush_into(extras_t& extras) const {
+    if (samples == 0) return;
+    const double n = static_cast<double>(samples);
+    extras.emplace_back("health_occupancy_pct", occupancy_sum / n);
+    extras.emplace_back("health_backlog", backlog_sum / n);
+    extras.emplace_back("health_samples", n);
+  }
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   lfst::bench::metrics_reporter metrics(argc, argv);
+  lfst::bench::bench_json_reporter bench_json("fig9", argc, argv);
+  lfst::bench::trace_reporter traces(argc, argv);
   const bench_config cfg = bench_config::from_env();
   lfst::bench::print_header("Figure 9: throughput vs thread count", cfg);
 
   const std::vector<entry> structures = {
       {"skip-tree",
-       [](const scenario& sc) { return lfst::workload::run_scenario(sc, make_skip_tree); }},
+       [](const scenario& sc, extras_t& extras) {
+         health_accumulator acc;
+         const summary s = lfst::workload::run_scenario(
+             sc, make_skip_tree,
+             [&acc](auto& tree, int) { return acc.observe(tree); });
+         acc.flush_into(extras);
+         return s;
+       }},
       {"skip-list",
-       [](const scenario& sc) { return lfst::workload::run_scenario(sc, make_skip_list); }},
+       [](const scenario& sc, extras_t&) {
+         return lfst::workload::run_scenario(sc, make_skip_list);
+       }},
       {"opt-tree",
-       [](const scenario& sc) { return lfst::workload::run_scenario(sc, make_opt_tree); }},
+       [](const scenario& sc, extras_t&) {
+         return lfst::workload::run_scenario(sc, make_opt_tree);
+       }},
       {"b-link-tree",
-       [](const scenario& sc) { return lfst::workload::run_scenario(sc, make_blink_tree); }},
+       [](const scenario& sc, extras_t&) {
+         return lfst::workload::run_scenario(sc, make_blink_tree);
+       }},
   };
 
   const std::vector<lfst::workload::mix> mixes = {
@@ -103,11 +167,17 @@ int main(int argc, char** argv) {
         double skiplist_mean = 0.0;
         std::map<std::string, double> means;
         for (const entry& e : structures) {
-          const summary s = e.run(sc);
+          extras_t extras;
+          const summary s = e.run(sc, extras);
           means[e.name] = s.mean;
           if (std::string(e.name) == "skip-list") skiplist_mean = s.mean;
           row.push_back(lfst::workload::table::fmt(s.mean, 0) + " +/- " +
                         lfst::workload::table::fmt(s.stddev, 0));
+          bench_json.record(std::string(e.name) + "/" +
+                                lfst::bench::mix_name(m) + "/" +
+                                lfst::bench::range_name(range) + "/t" +
+                                std::to_string(threads),
+                            threads, s, std::move(extras));
         }
         row.emplace_back("");
         tab.add_row(row);

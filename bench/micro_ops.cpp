@@ -142,13 +142,41 @@ void BM_ContendedAddRemove(benchmark::State& state) {
 }
 BENCHMARK(BM_ContendedAddRemove)->Threads(4)->Iterations(250000);
 
+/// Console output as usual, plus every per-iteration run captured into the
+/// bench-JSON sidecar (one summary entry per case, named by the benchmark's
+/// canonical name -- stable across runs, which is what the gate joins on).
+class json_capture_reporter : public benchmark::ConsoleReporter {
+ public:
+  explicit json_capture_reporter(lfst::bench::bench_json_reporter& out)
+      : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& r : reports) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      auto it = r.counters.find("items_per_second");
+      const double items_per_ms =
+          it == r.counters.end() ? 0.0
+                                 : static_cast<double>(it->second) / 1000.0;
+      out_.record(r.benchmark_name(), r.threads,
+                  lfst::summary::of({items_per_ms}));
+    }
+  }
+
+ private:
+  lfst::bench::bench_json_reporter& out_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   lfst::bench::metrics_reporter metrics(argc, argv);
+  lfst::bench::bench_json_reporter bench_json("micro", argc, argv);
+  lfst::bench::trace_reporter traces(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  json_capture_reporter reporter(bench_json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

@@ -16,6 +16,7 @@
 
 int main(int argc, char** argv) {
   lfst::bench::metrics_reporter metrics(argc, argv);
+  lfst::bench::trace_reporter traces(argc, argv);
   const auto cfg = lfst::bench::bench_config::from_env();
   lfst::bench::print_header("Structural census: node width vs q", cfg);
 

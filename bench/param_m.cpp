@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   lfst::bench::metrics_reporter metrics(argc, argv);
+  lfst::bench::trace_reporter traces(argc, argv);
   using lfst::bench::bench_config;
   using lfst::workload::scenario;
   const bench_config cfg = bench_config::from_env();

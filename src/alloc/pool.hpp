@@ -61,6 +61,7 @@
 #include "common/align.hpp"
 #include "common/failpoint.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace lfst::alloc {
 
@@ -340,6 +341,7 @@ class pool {
   static void* refill_and_pop(int ci, std::size_t block, tls_cache* c,
                               tls_counters* tc) {
     LFST_FP_ALLOC("alloc.pool.refill");
+    LFST_T_SPAN(::lfst::trace::sid::pool_refill);
     LFST_M_COUNT(::lfst::metrics::cid::pool_refills);
     size_class& sc = global().classes[ci];
     const std::size_t want = c != nullptr ? kBatch : 1;

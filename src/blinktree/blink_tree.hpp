@@ -39,6 +39,7 @@
 #include "common/backoff.hpp"
 #include "common/metrics.hpp"
 #include "common/spin_rw_lock.hpp"
+#include "common/trace.hpp"
 
 namespace lfst::blinktree {
 
@@ -79,6 +80,7 @@ class blink_tree {
   // --- operations -------------------------------------------------------------
 
   bool contains(const T& v) const {
+    LFST_T_SPAN(::lfst::trace::sid::blink_contains);
     const node* n = descend_to_leaf(v);
     // Move right at the leaf level, then test membership under a read lock.
     for (;;) {
@@ -94,6 +96,7 @@ class blink_tree {
   }
 
   bool add(const T& v) {
+    LFST_T_SPAN(::lfst::trace::sid::blink_add);
     node* n = leftmost_write_locked_target(v);
     // n is write-locked and covers v.
     auto it = std::lower_bound(n->keys.begin(), n->keys.end(), v, cmp_);
@@ -120,6 +123,7 @@ class blink_tree {
   }
 
   bool remove(const T& v) {
+    LFST_T_SPAN(::lfst::trace::sid::blink_remove);
     node* n = leftmost_write_locked_target(v);
     auto it = std::lower_bound(n->keys.begin(), n->keys.end(), v, cmp_);
     const bool found = it != n->keys.end() && equal(*it, v);

@@ -144,6 +144,8 @@ enum class hid : std::uint16_t {
   skiptree_traversal_depth,         ///< level steps + link hops per descent
   ebr_advance_ticks,                ///< tsc between successful epoch advances
   ebr_limbo_depth,                  ///< retire-queue depth at each retire()
+  skiptree_health_backlog,          ///< empty nodes + suboptimal refs per probe
+  skiptree_health_occupancy_pct,    ///< avg node fill vs 1/q ideal, percent
   kCount
 };
 
@@ -152,6 +154,8 @@ inline constexpr std::string_view kHistNames[] = {
     "skiptree.traversal_depth",
     "ebr.advance_ticks",
     "ebr.limbo_depth",
+    "skiptree.health_backlog",
+    "skiptree.health_occupancy_pct",
 };
 static_assert(sizeof(kHistNames) / sizeof(kHistNames[0]) ==
               static_cast<std::size_t>(hid::kCount));
@@ -165,6 +169,7 @@ enum class eid : std::uint16_t {
   skiptree_compact_8c,
   skiptree_compact_8d,
   ebr_advance,
+  skiptree_health_probe,
   kCount
 };
 
@@ -176,6 +181,7 @@ inline constexpr std::string_view kEventNames[] = {
     "skiptree.compact_8c",
     "skiptree.compact_8d",
     "ebr.advance",
+    "skiptree.health_probe",
 };
 static_assert(sizeof(kEventNames) / sizeof(kEventNames[0]) ==
               static_cast<std::size_t>(eid::kCount));
@@ -350,6 +356,84 @@ class trace_ring {
   std::array<slot, kCapacity> slots_{};
 };
 
+// --- leased per-thread ring pool ---------------------------------------------
+
+/// Owner of a growable set of per-thread rings, leased on first use and
+/// returned (contents intact, hence still drainable) when the thread exits.
+/// A dead thread's ring is recycled by the next fresh lease with its
+/// contents preserved: the records already in it were really pushed and
+/// drains attribute them to the same ring index either way, so wiping
+/// would only lose data (a short-lived thread's entire output, when its
+/// ring is re-leased before anyone drains).  The newcomer simply appends
+/// after the old owner's tail; only an explicit reset() clears rings.
+///
+/// The lease lives in a `thread_local` inside `my_ring()`, which is ONE slot
+/// per template instantiation, not per pool object: a `ring_pool<R>` must
+/// therefore be owned by exactly one (singleton) object per ring type R.
+/// Both in-tree owners -- the metrics registry (trace_ring) and the span
+/// trace registry (trace.hpp, span_ring) -- are leaky singletons.
+template <typename Ring>
+class ring_pool {
+ public:
+  ring_pool() = default;
+  ring_pool(const ring_pool&) = delete;
+  ring_pool& operator=(const ring_pool&) = delete;
+
+  /// The calling thread's leased ring (acquired on first call).
+  Ring& my_ring() {
+    thread_local ring_lease lease;
+    if (lease.ring == nullptr) lease.ring = &acquire_ring();
+    return lease.ring->ring;
+  }
+
+  /// Locked iteration over every ring ever leased, alive or not, with its
+  /// stable pool index (the "thread id" exposed by drains).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::lock_guard<std::mutex> g(mu_);
+    for (std::size_t i = 0; i < rings_.size(); ++i) {
+      fn(static_cast<const Ring&>(rings_[i]->ring), i);
+    }
+  }
+
+  /// Reset every ring (caller must quiesce, as with all metrics reads).
+  void reset() {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& r : rings_) r->ring.reset();
+  }
+
+ private:
+  struct owned_ring {
+    Ring ring;
+    std::atomic<bool> leased{false};
+  };
+
+  struct ring_lease {
+    owned_ring* ring = nullptr;
+    ~ring_lease() {
+      if (ring != nullptr)
+        ring->leased.store(false, std::memory_order_release);
+    }
+  };
+
+  owned_ring& acquire_ring() {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& r : rings_) {
+      bool expected = false;
+      if (r->leased.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+        return *r;  // contents preserved: see class comment
+      }
+    }
+    rings_.push_back(std::make_unique<owned_ring>());
+    rings_.back()->leased.store(true, std::memory_order_relaxed);
+    return *rings_.back();
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<owned_ring>> rings_;
+};
+
 // --- registry ----------------------------------------------------------------
 
 /// Process-wide metrics registry: a leaky singleton (like the failpoint
@@ -380,7 +464,7 @@ class registry {
   }
 
   void trace(eid id, std::uint64_t payload) noexcept {
-    my_ring().push(id, tsc_now(), payload);
+    rings_.my_ring().push(id, tsc_now(), payload);
   }
 
   // --- aggregation (quiesce for exactness) ----------------------------------
@@ -425,10 +509,9 @@ class registry {
   /// Merge every thread's trace ring into one tsc-ordered dump.
   std::vector<trace_record> drain_trace() const {
     std::vector<trace_record> out;
-    std::lock_guard<std::mutex> g(rings_mu_);
-    for (std::size_t i = 0; i < rings_.size(); ++i) {
-      rings_[i]->ring.drain_into(out, i);
-    }
+    rings_.for_each([&out](const trace_ring& r, std::size_t i) {
+      r.drain_into(out, i);
+    });
     std::stable_sort(out.begin(), out.end(),
                      [](const trace_record& a, const trace_record& b) {
                        return a.tsc < b.tsc;
@@ -443,8 +526,7 @@ class registry {
       for (auto& c : s.counters) c.store(0, std::memory_order_relaxed);
       for (auto& h : s.hists) h.reset();
     }
-    std::lock_guard<std::mutex> g(rings_mu_);
-    for (const auto& r : rings_) r->ring.reset();
+    rings_.reset();
   }
 
  private:
@@ -472,46 +554,10 @@ class registry {
     return shard;
   }
 
-  // Trace rings are owned by the registry (node-stable unique_ptrs) and
-  // leased to threads: a thread claims a free ring on first trace and its
-  // thread-exit hook returns the lease, leaving the contents drainable.
-  struct owned_ring {
-    trace_ring ring;
-    std::atomic<bool> leased{false};
-  };
-
-  struct ring_lease {
-    owned_ring* ring = nullptr;
-    ~ring_lease() {
-      if (ring != nullptr)
-        ring->leased.store(false, std::memory_order_release);
-    }
-  };
-
-  trace_ring& my_ring() {
-    thread_local ring_lease lease;
-    if (lease.ring == nullptr) lease.ring = &acquire_ring();
-    return lease.ring->ring;
-  }
-
-  owned_ring& acquire_ring() {
-    std::lock_guard<std::mutex> g(rings_mu_);
-    for (const auto& r : rings_) {
-      bool expected = false;
-      if (r->leased.compare_exchange_strong(expected, true,
-                                            std::memory_order_acq_rel)) {
-        r->ring.reset();  // fresh lease: do not inherit the old owner's tail
-        return *r;
-      }
-    }
-    rings_.push_back(std::make_unique<owned_ring>());
-    rings_.back()->leased.store(true, std::memory_order_relaxed);
-    return *rings_.back();
-  }
-
   shard shards_[kShards];
-  mutable std::mutex rings_mu_;
-  std::vector<std::unique_ptr<owned_ring>> rings_;
+  // Event-trace rings, leased per thread (see ring_pool; this registry is
+  // the singleton owner of the trace_ring instantiation).
+  mutable ring_pool<trace_ring> rings_;
 };
 
 // --- always-on per-instance counters -----------------------------------------

@@ -17,11 +17,42 @@
 #include <iomanip>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/metrics.hpp"
 
 namespace lfst::metrics {
+
+/// Escape `s` for use inside a JSON string literal: quote, backslash, and
+/// control characters per RFC 8259.  Metric names are compile-time constants
+/// today, but the exporter must not silently emit broken JSON the day a
+/// label carries user data (e.g. a bench name with a quote in it).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 /// Human-readable table of all non-zero counters and histograms ("all-zero"
 /// rows are noise in a dump whose job is to say what actually happened).
@@ -59,11 +90,11 @@ inline std::string to_json_lines(
     const std::vector<trace_record>& events = {}) {
   std::ostringstream os;
   for (const counter_snapshot& c : snap.counters) {
-    os << "{\"type\":\"counter\",\"name\":\"" << c.name
+    os << "{\"type\":\"counter\",\"name\":\"" << json_escape(c.name)
        << "\",\"value\":" << c.value << "}\n";
   }
   for (const hist_snapshot& h : snap.histograms) {
-    os << "{\"type\":\"histogram\",\"name\":\"" << h.name
+    os << "{\"type\":\"histogram\",\"name\":\"" << json_escape(h.name)
        << "\",\"count\":" << h.count << ",\"sum\":" << h.sum
        << ",\"p50\":" << h.approx_percentile(0.50)
        << ",\"p99\":" << h.approx_percentile(0.99) << ",\"buckets\":{";
@@ -78,7 +109,7 @@ inline std::string to_json_lines(
     os << "}}\n";
   }
   for (const trace_record& e : events) {
-    os << "{\"type\":\"event\",\"name\":\"" << event_name(e.id)
+    os << "{\"type\":\"event\",\"name\":\"" << json_escape(event_name(e.id))
        << "\",\"tsc\":" << e.tsc << ",\"payload\":" << e.payload
        << ",\"thread\":" << e.thread << "}\n";
   }

@@ -53,6 +53,7 @@ struct summary {
   double min = 0.0;
   double max = 0.0;
   double p50 = 0.0;
+  double p90 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
 
@@ -68,6 +69,7 @@ struct summary {
     out.min = rs.min();
     out.max = rs.max();
     out.p50 = percentile(samples, 0.50);
+    out.p90 = percentile(samples, 0.90);
     out.p95 = percentile(samples, 0.95);
     out.p99 = percentile(samples, 0.99);
     return out;

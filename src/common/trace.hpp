@@ -1,0 +1,301 @@
+// Per-operation span tracing: scoped RAII spans over the hot paths.
+//
+// The metrics layer (metrics.hpp) answers "how often" -- counters and
+// histograms aggregated over a whole run.  This layer answers "when and for
+// how long": every traced operation (add / remove / contains on each of the
+// four structures, pool refills, EBR epoch advances, health probes) records
+// a span -- begin/end tsc timestamps plus the retry count and traversal
+// depth accumulated while it ran -- into a leased per-thread ring
+// (metrics::ring_pool), and the export layer (trace_export.hpp) turns the
+// merged dump into a Chrome/Perfetto `trace_event` JSON or a compact binary
+// file that tools/trace2perfetto.py converts offline.
+//
+// Zero-cost contract, same as LFST_M_* / LFST_FP_*: the machinery below is
+// always compiled (the tier-1 suite exercises it in every build), but the
+// LFST_T_* macros threaded through the structures compile to `((void)0)`
+// unless LFST_TRACE is defined -- no branch, no TLS load, no registry
+// reference on any hot path of a plain build.
+//
+// Span lifecycle.  `scoped_span` publishes itself in a thread-local
+// current-span slot for its lifetime, so deep retry/step sites
+// (LFST_T_RETRY / LFST_T_STEP) can annotate the innermost enclosing
+// operation without plumbing a handle through the static op structs; spans
+// nest (the constructor saves the previous slot, the destructor restores
+// it), and the record is pushed into the calling thread's ring only at
+// destruction -- a span that never ends (thread killed mid-op) is simply
+// absent from the dump.
+//
+// Clock calibration: span timestamps are raw tsc ticks.  The registry
+// captures a (tsc, steady_clock) anchor pair at construction and another at
+// export time; their quotient gives ticks-per-microsecond without any
+// serializing instruction on the hot path.  Cross-core tsc skew makes
+// ordering best-effort, exactly as for metrics event traces.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace lfst::trace {
+
+// --- span identifiers ----------------------------------------------------------
+//
+// Adding an id: append to the enum AND the name table; the static_assert
+// keeps them in lockstep.
+
+enum class sid : std::uint16_t {
+  skiptree_contains = 0,
+  skiptree_add,
+  skiptree_remove,
+  skiplist_contains,
+  skiplist_add,
+  skiplist_remove,
+  harris_contains,
+  harris_add,
+  harris_remove,
+  blink_contains,
+  blink_add,
+  blink_remove,
+  pool_refill,
+  ebr_advance,
+  health_probe,
+  kCount
+};
+
+inline constexpr std::string_view kSpanNames[] = {
+    "skiptree.contains",
+    "skiptree.add",
+    "skiptree.remove",
+    "skiplist.contains",
+    "skiplist.add",
+    "skiplist.remove",
+    "harris.contains",
+    "harris.add",
+    "harris.remove",
+    "blink.contains",
+    "blink.add",
+    "blink.remove",
+    "pool.refill",
+    "ebr.advance",
+    "skiptree.health_probe",
+};
+static_assert(sizeof(kSpanNames) / sizeof(kSpanNames[0]) ==
+              static_cast<std::size_t>(sid::kCount));
+
+constexpr std::string_view span_name(sid id) noexcept {
+  return kSpanNames[static_cast<std::size_t>(id)];
+}
+
+/// One completed span, annotated with its source thread (the ring-pool index
+/// of the recording thread's leased ring).
+struct span_record {
+  sid id{};
+  std::uint64_t t0 = 0;       ///< tsc at span begin
+  std::uint64_t t1 = 0;       ///< tsc at span end
+  std::uint32_t retries = 0;  ///< CAS retries charged to this operation
+  std::uint32_t depth = 0;    ///< traversal steps charged to this operation
+  std::uint64_t thread = 0;
+};
+
+// --- per-thread span ring --------------------------------------------------------
+
+/// Fixed-capacity ring of completed spans; same writer/reader contract as
+/// metrics::trace_ring (one writer at a time, relaxed atomic fields so a
+/// concurrent drain reads torn records at worst, exactness after quiescence).
+/// retries and depth are packed into one 64-bit word to keep a push at four
+/// relaxed stores plus the head bump.
+class span_ring {
+ public:
+  static constexpr std::size_t kCapacity = 4096;
+
+  void push(sid id, std::uint64_t t0, std::uint64_t t1, std::uint32_t retries,
+            std::uint32_t depth) noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    slot& s = slots_[h % kCapacity];
+    s.id.store(static_cast<std::uint16_t>(id), std::memory_order_relaxed);
+    s.t0.store(t0, std::memory_order_relaxed);
+    s.t1.store(t1, std::memory_order_relaxed);
+    s.stats.store((static_cast<std::uint64_t>(retries) << 32) | depth,
+                  std::memory_order_relaxed);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Append the ring's surviving spans (oldest first) to `out`.
+  void drain_into(std::vector<span_record>& out, std::uint64_t thread) const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t n = h < kCapacity ? h : kCapacity;
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      const slot& s = slots_[i % kCapacity];
+      const std::uint64_t stats = s.stats.load(std::memory_order_relaxed);
+      out.push_back(span_record{
+          static_cast<sid>(s.id.load(std::memory_order_relaxed)),
+          s.t0.load(std::memory_order_relaxed),
+          s.t1.load(std::memory_order_relaxed),
+          static_cast<std::uint32_t>(stats >> 32),
+          static_cast<std::uint32_t>(stats & 0xffffffffu), thread});
+    }
+  }
+
+  /// Monotone number of spans ever pushed (wraparound does not reset it).
+  std::uint64_t pushed() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { head_.store(0, std::memory_order_relaxed); }
+
+ private:
+  struct slot {
+    std::atomic<std::uint16_t> id{0};
+    std::atomic<std::uint64_t> t0{0};
+    std::atomic<std::uint64_t> t1{0};
+    std::atomic<std::uint64_t> stats{0};
+  };
+  std::atomic<std::uint64_t> head_{0};
+  std::array<slot, kCapacity> slots_{};
+};
+
+// --- registry -----------------------------------------------------------------
+
+/// Tsc-to-wall-clock anchor: a (tsc, steady_clock) pair captured at one
+/// instant; two anchors give the tick rate.
+struct clock_anchor {
+  std::uint64_t tsc = 0;
+  std::chrono::steady_clock::time_point steady{};
+
+  static clock_anchor now() noexcept {
+    return clock_anchor{metrics::tsc_now(), std::chrono::steady_clock::now()};
+  }
+};
+
+/// Process-wide span-trace registry: a leaky singleton owning the span-ring
+/// pool plus the clock anchor for export-time calibration.
+class trace_registry {
+ public:
+  static trace_registry& instance() {
+    static trace_registry* r = new trace_registry;
+    return *r;
+  }
+
+  void push(sid id, std::uint64_t t0, std::uint64_t t1, std::uint32_t retries,
+            std::uint32_t depth) noexcept {
+    rings_.my_ring().push(id, t0, t1, retries, depth);
+  }
+
+  /// Merge every thread's span ring into one dump ordered by span begin.
+  std::vector<span_record> drain() const {
+    std::vector<span_record> out;
+    rings_.for_each([&out](const span_ring& r, std::size_t i) {
+      r.drain_into(out, i);
+    });
+    std::stable_sort(out.begin(), out.end(),
+                     [](const span_record& a, const span_record& b) {
+                       return a.t0 < b.t0;
+                     });
+    return out;
+  }
+
+  /// Measured tsc ticks per microsecond since the registry was constructed.
+  /// Call after a run (needs a non-trivial elapsed window to be meaningful);
+  /// falls back to 1.0 when the window is too short to divide.
+  double ticks_per_us() const {
+    const clock_anchor now = clock_anchor::now();
+    const double us = std::chrono::duration<double, std::micro>(
+                          now.steady - birth_.steady)
+                          .count();
+    if (us <= 0.0 || now.tsc <= birth_.tsc) return 1.0;
+    return static_cast<double>(now.tsc - birth_.tsc) / us;
+  }
+
+  /// Wipe every ring (caller must quiesce).
+  void reset() { rings_.reset(); }
+
+ private:
+  trace_registry() : birth_(clock_anchor::now()) {}
+
+  clock_anchor birth_;
+  mutable metrics::ring_pool<span_ring> rings_;
+};
+
+// --- scoped span ----------------------------------------------------------------
+
+/// RAII span: stamps t0 at construction, t1 at destruction, and pushes the
+/// record into the calling thread's leased ring.  While alive it is the
+/// thread's "current span" (a TLS slot), so note_retry()/note_step() below
+/// can charge retries and traversal steps to the innermost operation from
+/// arbitrarily deep call sites.  Spans nest; the previous current span is
+/// restored on destruction.
+class scoped_span {
+ public:
+  explicit scoped_span(sid id) noexcept
+      : id_(id), prev_(current()), t0_(metrics::tsc_now()) {
+    current() = this;
+  }
+
+  scoped_span(const scoped_span&) = delete;
+  scoped_span& operator=(const scoped_span&) = delete;
+
+  ~scoped_span() {
+    current() = prev_;
+    trace_registry::instance().push(id_, t0_, metrics::tsc_now(), retries_,
+                                    depth_);
+  }
+
+  void add_retry() noexcept { ++retries_; }
+  void add_step() noexcept { ++depth_; }
+
+  /// The calling thread's innermost live span, or null.
+  static scoped_span*& current() noexcept {
+    thread_local scoped_span* cur = nullptr;
+    return cur;
+  }
+
+ private:
+  sid id_;
+  scoped_span* prev_;
+  std::uint64_t t0_;
+  std::uint32_t retries_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+/// Charge one retry / one traversal step to the innermost live span, if any
+/// (sites fire outside any span too, e.g. preload loops -- that is fine).
+inline void note_retry() noexcept {
+  if (scoped_span* s = scoped_span::current()) s->add_retry();
+}
+inline void note_step() noexcept {
+  if (scoped_span* s = scoped_span::current()) s->add_step();
+}
+
+}  // namespace lfst::trace
+
+// --- instrumentation macros ------------------------------------------------------
+//
+// All span instrumentation goes through these; they compile to nothing
+// without LFST_TRACE (arguments are discarded textually).
+
+#if defined(LFST_TRACE)
+
+#define LFST_T_CAT2_(a_, b_) a_##b_
+#define LFST_T_CAT_(a_, b_) LFST_T_CAT2_(a_, b_)
+
+/// Open a span covering the rest of the enclosing scope.
+#define LFST_T_SPAN(id_) \
+  ::lfst::trace::scoped_span LFST_T_CAT_(lfst_t_span_, __LINE__)(id_)
+
+/// Charge one CAS retry / one traversal step to the innermost live span.
+#define LFST_T_RETRY() (::lfst::trace::note_retry())
+#define LFST_T_STEP() (::lfst::trace::note_step())
+
+#else  // !LFST_TRACE: every macro compiles to nothing.
+
+#define LFST_T_SPAN(id_) ((void)0)
+#define LFST_T_RETRY() ((void)0)
+#define LFST_T_STEP() ((void)0)
+
+#endif  // LFST_TRACE

@@ -1,0 +1,183 @@
+// Exporters for the span-trace registry (trace.hpp): Chrome/Perfetto
+// `trace_event` JSON and a compact binary format.
+//
+// The JSON form loads directly in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing: one complete event (ph "X") per span, with the retry
+// count and traversal depth in `args` so the UI shows them in the detail
+// pane.  Timestamps are microseconds relative to the earliest span in the
+// dump, converted from tsc ticks with the registry's measured tick rate.
+//
+// The binary form is for long runs where JSON would be bulky: a fixed
+// header (magic, record count, tick rate, tsc base) followed by one packed
+// 40-byte record per span.  tools/trace2perfetto.py converts it offline to
+// the same Chrome JSON; read_binary() below round-trips it for tests.
+//
+// Both exporters consume a drained span vector, so they inherit the
+// registry's quiescence contract: exact after the traced threads join,
+// best-effort (torn records possible) while they run.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics_export.hpp"
+#include "common/trace.hpp"
+
+namespace lfst::trace {
+
+/// Earliest span-begin tsc in `spans` (0 for an empty dump): the time base
+/// that both exporters subtract so traces start near t = 0.
+inline std::uint64_t tsc_base(const std::vector<span_record>& spans) {
+  std::uint64_t base = spans.empty() ? 0 : spans.front().t0;
+  for (const span_record& s : spans) {
+    if (s.t0 < base) base = s.t0;
+  }
+  return base;
+}
+
+/// Chrome `trace_event` JSON document: {"traceEvents":[...]}.  Each span
+/// becomes a complete event on pid 0 / tid = its ring index; durations are
+/// clamped non-negative (cross-core tsc skew can invert a short span).
+inline std::string to_chrome_json(const std::vector<span_record>& spans,
+                                  double ticks_per_us) {
+  if (ticks_per_us <= 0.0) ticks_per_us = 1.0;
+  const std::uint64_t base = tsc_base(spans);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const span_record& s : spans) {
+    const double ts = static_cast<double>(s.t0 - base) / ticks_per_us;
+    const double dur = s.t1 >= s.t0
+                           ? static_cast<double>(s.t1 - s.t0) / ticks_per_us
+                           : 0.0;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << metrics::json_escape(span_name(s.id))
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << s.thread << ",\"ts\":" << ts
+       << ",\"dur\":" << dur << ",\"args\":{\"retries\":" << s.retries
+       << ",\"depth\":" << s.depth << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}";
+  return os.str();
+}
+
+/// Write the Chrome JSON to `path`; returns false on I/O failure.
+inline bool write_chrome_json_file(const std::string& path,
+                                   const std::vector<span_record>& spans,
+                                   double ticks_per_us) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_chrome_json(spans, ticks_per_us);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+// --- compact binary format ----------------------------------------------------
+//
+// Layout (little-endian, as written by the host -- the converter checks the
+// magic to reject byte-swapped files rather than translating them):
+//
+//   offset  size  field
+//        0     8  magic "LFSTTRC1"
+//        8     8  u64 record count
+//       16     8  f64 ticks_per_us (IEEE double)
+//       24     8  u64 tsc base (subtracted from every t0/t1 below)
+//       32   40*n records: u64 t0_rel, u64 t1_rel, u64 thread,
+//                          u32 retries, u32 depth, u16 id, 6 bytes pad
+//
+// Python: header struct "<8sQdQ", record struct "<QQQIIH6x".
+
+inline constexpr char kBinaryMagic[8] = {'L', 'F', 'S', 'T',
+                                         'T', 'R', 'C', '1'};
+inline constexpr std::size_t kBinaryHeaderSize = 32;
+inline constexpr std::size_t kBinaryRecordSize = 40;
+
+/// Serialize `spans` into the binary format.
+inline std::string to_binary(const std::vector<span_record>& spans,
+                             double ticks_per_us) {
+  const std::uint64_t base = tsc_base(spans);
+  std::string out;
+  out.reserve(kBinaryHeaderSize + kBinaryRecordSize * spans.size());
+  auto put = [&out](const void* p, std::size_t n) {
+    out.append(static_cast<const char*>(p), n);
+  };
+  put(kBinaryMagic, sizeof(kBinaryMagic));
+  const std::uint64_t count = spans.size();
+  put(&count, 8);
+  put(&ticks_per_us, 8);
+  put(&base, 8);
+  for (const span_record& s : spans) {
+    const std::uint64_t t0 = s.t0 - base;
+    const std::uint64_t t1 = s.t1 >= base ? s.t1 - base : t0;
+    const std::uint16_t id = static_cast<std::uint16_t>(s.id);
+    const char pad[6] = {};
+    put(&t0, 8);
+    put(&t1, 8);
+    put(&s.thread, 8);
+    put(&s.retries, 4);
+    put(&s.depth, 4);
+    put(&id, 2);
+    put(pad, 6);
+  }
+  return out;
+}
+
+/// Write the binary trace to `path`; returns false on I/O failure.
+inline bool write_binary_file(const std::string& path,
+                              const std::vector<span_record>& spans,
+                              double ticks_per_us) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string body = to_binary(spans, ticks_per_us);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+/// Parse a binary trace produced by to_binary().  Returns false (leaving
+/// `spans` empty) on a bad magic, a truncated body, or an out-of-range span
+/// id.  Round-trip testing hook; the offline path uses trace2perfetto.py.
+inline bool read_binary(const std::string& blob,
+                        std::vector<span_record>& spans,
+                        double& ticks_per_us) {
+  spans.clear();
+  if (blob.size() < kBinaryHeaderSize) return false;
+  if (std::memcmp(blob.data(), kBinaryMagic, sizeof(kBinaryMagic)) != 0) {
+    return false;
+  }
+  std::uint64_t count = 0;
+  std::uint64_t base = 0;
+  std::memcpy(&count, blob.data() + 8, 8);
+  std::memcpy(&ticks_per_us, blob.data() + 16, 8);
+  std::memcpy(&base, blob.data() + 24, 8);
+  if (blob.size() < kBinaryHeaderSize + kBinaryRecordSize * count) {
+    return false;
+  }
+  spans.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const char* p = blob.data() + kBinaryHeaderSize + kBinaryRecordSize * i;
+    span_record s;
+    std::uint64_t t0 = 0, t1 = 0;
+    std::uint16_t id = 0;
+    std::memcpy(&t0, p, 8);
+    std::memcpy(&t1, p + 8, 8);
+    std::memcpy(&s.thread, p + 16, 8);
+    std::memcpy(&s.retries, p + 24, 4);
+    std::memcpy(&s.depth, p + 28, 4);
+    std::memcpy(&id, p + 32, 2);
+    if (id >= static_cast<std::uint16_t>(sid::kCount)) {
+      spans.clear();
+      return false;
+    }
+    s.t0 = base + t0;
+    s.t1 = base + t1;
+    s.id = static_cast<sid>(id);
+    spans.push_back(s);
+  }
+  return true;
+}
+
+}  // namespace lfst::trace

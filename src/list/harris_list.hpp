@@ -34,6 +34,7 @@
 #include "common/align.hpp"
 #include "common/backoff.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "reclaim/ebr.hpp"
 #include "reclaim/hazard.hpp"
 #include "reclaim/leaky.hpp"
@@ -122,6 +123,7 @@ class harris_list {
   }
 
   bool contains(const T& v) const {
+    LFST_T_SPAN(::lfst::trace::sid::harris_contains);
     guard_t g(domain_);
     node* curr = node::ptr(head_.load(std::memory_order_acquire));
     while (curr != nullptr) {
@@ -135,6 +137,7 @@ class harris_list {
   }
 
   bool add(const T& v) {
+    LFST_T_SPAN(::lfst::trace::sid::harris_add);
     guard_t g(domain_);
     backoff bo;
     for (;;) {
@@ -152,11 +155,13 @@ class harris_list {
       }
       node::template destroy<Alloc>(fresh);
       LFST_M_COUNT(::lfst::metrics::cid::harris_add_retries);
+      LFST_T_RETRY();
       bo();
     }
   }
 
   bool remove(const T& v) {
+    LFST_T_SPAN(::lfst::trace::sid::harris_remove);
     guard_t g(domain_);
     backoff bo;
     for (;;) {
@@ -171,6 +176,7 @@ class harris_list {
               w, node::mark(w), std::memory_order_acq_rel,
               std::memory_order_acquire)) {
         LFST_M_COUNT(::lfst::metrics::cid::harris_remove_retries);
+        LFST_T_RETRY();
         bo();
         continue;
       }
@@ -300,6 +306,7 @@ class harris_list_hp {
   }
 
   bool contains(const T& v) const {
+    LFST_T_SPAN(::lfst::trace::sid::harris_contains);
     reclaim::hp_domain::holder h(domain_);
     position pos{};
     // contains() uses the full protected find (Michael's paper does the
@@ -309,6 +316,7 @@ class harris_list_hp {
   }
 
   bool add(const T& v) {
+    LFST_T_SPAN(::lfst::trace::sid::harris_add);
     reclaim::hp_domain::holder h(domain_);
     backoff bo;
     for (;;) {
@@ -327,11 +335,13 @@ class harris_list_hp {
       }
       node::template destroy<Alloc>(fresh);
       LFST_M_COUNT(::lfst::metrics::cid::harris_add_retries);
+      LFST_T_RETRY();
       bo();
     }
   }
 
   bool remove(const T& v) {
+    LFST_T_SPAN(::lfst::trace::sid::harris_remove);
     reclaim::hp_domain::holder h(domain_);
     backoff bo;
     for (;;) {
@@ -345,6 +355,7 @@ class harris_list_hp {
               w, node::mark(w), std::memory_order_acq_rel,
               std::memory_order_acquire)) {
         LFST_M_COUNT(::lfst::metrics::cid::harris_remove_retries);
+        LFST_T_RETRY();
         bo();
         continue;
       }

@@ -34,6 +34,7 @@
 #include "common/align.hpp"
 #include "common/failpoint.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "reclaim/retired.hpp"
 
 namespace lfst::reclaim {
@@ -296,6 +297,7 @@ class ebr_domain {
 
   /// Advance the global epoch if every pinned thread has observed it.
   bool try_advance() {
+    LFST_T_SPAN(::lfst::trace::sid::ebr_advance);
     LFST_FP_POINT("ebr.advance");
     const std::uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
     const std::size_t n = high_water_.load(std::memory_order_acquire);

@@ -37,6 +37,7 @@
 #include "common/backoff.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "reclaim/ebr.hpp"
 
 namespace lfst::skiplist {
@@ -86,6 +87,7 @@ class skip_list {
   // --- operations -------------------------------------------------------------
 
   bool contains(const T& v) const {
+    LFST_T_SPAN(::lfst::trace::sid::skiplist_contains);
     guard_t g(domain_);
     const node* pred = head_;
     const node* curr = nullptr;
@@ -115,6 +117,7 @@ class skip_list {
   /// Deterministic-height insertion (test hook; `add` draws geometric).
   bool add_with_level(const T& v, int top) {
     assert(top >= 0 && top <= opts_.max_level);
+    LFST_T_SPAN(::lfst::trace::sid::skiplist_add);
     guard_t g(domain_);
     node* preds[kMaxLevelLimit + 1];
     node* succs[kMaxLevelLimit + 1];
@@ -133,6 +136,7 @@ class skip_list {
               std::memory_order_relaxed)) {
         node::destroy(fresh);  // never published
         LFST_M_COUNT(::lfst::metrics::cid::skiplist_add_retries);
+        LFST_T_RETRY();
         bo();
         continue;
       }
@@ -143,6 +147,7 @@ class skip_list {
   }
 
   bool remove(const T& v) {
+    LFST_T_SPAN(::lfst::trace::sid::skiplist_remove);
     guard_t g(domain_);
     node* preds[kMaxLevelLimit + 1];
     node* succs[kMaxLevelLimit + 1];
@@ -171,6 +176,7 @@ class skip_list {
         return true;
       }
       LFST_M_COUNT(::lfst::metrics::cid::skiplist_remove_retries);
+      LFST_T_RETRY();
     }
   }
 

@@ -40,6 +40,7 @@
 #include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "reclaim/ebr.hpp"
 #include "skiptree/contents.hpp"
 
@@ -132,6 +133,10 @@ struct tree_core {
 
   void bump(tree_counter c) noexcept {
     counters.inc(c);
+    // Every lost CAS race funnels through this bump, so it doubles as the
+    // span layer's retry hook: the innermost live span (the add/remove this
+    // thread is executing) gets charged one retry.
+    if (c == tree_counter::cas_failures) LFST_T_RETRY();
     LFST_M_COUNT(static_cast<metrics::cid>(
         static_cast<std::uint16_t>(c)));
   }

@@ -93,6 +93,7 @@ struct insert_ops {
       if (Core::is_past_end(i, *cts)) {
         nd = cts->link;
         LFST_M_TALLY_INC(lfst_m_depth);
+        LFST_T_STEP();
       } else {
         if (level <= h) {
           srchs[level] = search{nd, cts, i};
@@ -105,6 +106,7 @@ struct insert_ops {
         nd = cts->children()[Core::descend_index(i)];
         --level;
         LFST_M_TALLY_INC(lfst_m_depth);
+        LFST_T_STEP();
       }
     }
   }

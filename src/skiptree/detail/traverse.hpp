@@ -44,6 +44,7 @@ struct traverse_ops {
       cts = Core::load_payload(nd);
       i = core.search_keys(*cts, v);
       LFST_M_TALLY_INC(lfst_m_depth);
+      LFST_T_STEP();
     }
     LFST_M_HIST(::lfst::metrics::hid::skiptree_traversal_depth, lfst_m_depth);
     return cts;

@@ -33,6 +33,7 @@
 #include <span>
 
 #include "alloc/pool.hpp"
+#include "common/trace.hpp"
 #include "reclaim/ebr.hpp"
 #include "skiptree/contents.hpp"
 #include "skiptree/detail/bulk_load.hpp"
@@ -85,6 +86,7 @@ class skip_tree {
 
   /// Wait-free membership test.
   bool contains(const T& v) const {
+    LFST_T_SPAN(::lfst::trace::sid::skiptree_contains);
     guard_t g(core_.domain);
     return detail::traverse_ops<core_t>::contains(core_, v);
   }
@@ -96,6 +98,7 @@ class skip_tree {
   /// structural tests use; `add` draws the height from the geometric
   /// distribution Pr(H = h) = q^h (1 - q).
   bool add_with_height(const T& v, int height) {
+    LFST_T_SPAN(::lfst::trace::sid::skiptree_add);
     guard_t g(core_.domain);
     return detail::insert_ops<core_t>::add(core_, v, height);
   }
@@ -103,6 +106,7 @@ class skip_tree {
   /// Lock-free removal with piggybacked node compaction.  Returns false iff
   /// `v` was absent.
   bool remove(const T& v) {
+    LFST_T_SPAN(::lfst::trace::sid::skiptree_remove);
     guard_t g(core_.domain);
     return detail::compact_ops<core_t>::remove(core_, v);
   }
@@ -259,6 +263,8 @@ class skip_tree {
  private:
   template <typename, typename, typename, typename>
   friend class skip_tree_inspector;
+  template <typename, typename, typename, typename>
+  friend class skip_tree_health;
 
   using core_t = detail::tree_core<T, Compare, Reclaim, Alloc>;
 

@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdint>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -162,8 +163,15 @@ trial_result execute_trial(Set& set,
 /// Run a full scenario: `trials` independent repetitions, each against a
 /// freshly constructed set (from `factory`), pre-loaded per the paper's
 /// rule.  Returns the summary (mean/stddev over trials) of ops/ms.
-template <typename Factory>
-summary run_scenario(const scenario& sc, Factory&& factory) {
+///
+/// `observe(set, trial)` is called after pre-load and before the timed
+/// trial; whatever it returns stays alive for the duration of the trial and
+/// is destroyed before the set -- the hook the benches use to attach a
+/// structural-health ticker (or any other per-trial observer) to the live
+/// set without the driver knowing the structure's type.
+template <typename Factory, typename Observe>
+summary run_scenario(const scenario& sc, Factory&& factory,
+                     Observe&& observe) {
   std::vector<double> throughputs;
   throughputs.reserve(static_cast<std::size_t>(sc.trials));
   for (int trial = 0; trial < sc.trials; ++trial) {
@@ -176,9 +184,19 @@ summary run_scenario(const scenario& sc, Factory&& factory) {
     }
     auto set = factory();
     preload(*set, streams);
-    throughputs.push_back(execute_trial(*set, streams).ops_per_ms);
+    {
+      auto scope = observe(*set, trial);
+      throughputs.push_back(execute_trial(*set, streams).ops_per_ms);
+      (void)scope;
+    }
   }
   return summary::of(std::move(throughputs));
+}
+
+template <typename Factory>
+summary run_scenario(const scenario& sc, Factory&& factory) {
+  return run_scenario(sc, std::forward<Factory>(factory),
+                      [](auto&, int) { return 0; });
 }
 
 // --- Figure 10: iteration throughput under contention -------------------------

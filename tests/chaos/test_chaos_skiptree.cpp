@@ -22,10 +22,18 @@
 // of mirrors, and per-key membership.  The CI job runs this binary under
 // ASan, which adds the leak-cleanliness acceptance criterion.
 //
+// A structural-health ticker (skiptree/health.hpp) samples the tree
+// throughout each schedule, and a deterministic post-oracle degradation
+// phase (mass removal with compaction allocations failing) guarantees the
+// probe witnesses non-zero compaction backlog -- the degradation the
+// transforms exist to repair -- under every fault family.
+//
 // LFST_CHAOS_ITERS scales the per-thread op count for longer local soaks.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
 #include <set>
@@ -36,12 +44,11 @@
 #include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "skiptree/health.hpp"
 #include "skiptree/skip_tree.hpp"
 #include "skiptree/validate.hpp"
 
 #if defined(LFST_METRICS)
-#include <cstdio>
-
 #include "common/metrics_export.hpp"
 #endif
 
@@ -126,6 +133,13 @@ void run_schedule(const schedule& sched) {
   std::vector<std::set<int>> mirrors(kThreads);
   std::atomic<std::uint64_t> thrown{0};
   const int iters = iterations();
+
+  // Health time series: probe the live tree every 200us while the churn
+  // runs (a statistical glimpse of transient debt; the guaranteed backlog
+  // witness is the post-oracle degradation phase below).
+  health_ticker<int> health(tree, std::chrono::microseconds(200));
+  health.start();
+
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
@@ -168,9 +182,31 @@ void run_schedule(const schedule& sched) {
     });
   }
   for (auto& th : threads) th.join();
+  health.stop();
+  health.probe_now();  // one post-churn sample: the residual (lazy) backlog
 
   const std::uint64_t fires = total_fires();
   registry::instance().reset_all();  // quiescent, fault-free verification
+
+  // Churn-time samples are a statistical glimpse: compaction usually keeps
+  // up, so whether any sample caught transient debt is timing-dependent
+  // (reported below, not asserted).  The asserted witness comes after the
+  // oracles, from a deterministic degradation phase.
+  const auto series = health.samples();
+  ASSERT_FALSE(series.empty());
+  std::uint64_t churn_backlog = 0;
+  std::size_t nonzero_samples = 0;
+  for (const auto& s : series) {
+    churn_backlog += s.compaction_backlog();
+    if (s.compaction_backlog() > 0) ++nonzero_samples;
+  }
+  const auto& last = series.back();
+  std::printf(
+      "--- health series '%s': %zu samples, %zu with backlog, "
+      "final: %zu nodes, %.1f%% empty, %zu suboptimal, %.0f%% occupancy ---\n",
+      sched.name, series.size(), nonzero_samples, last.sampled_nodes,
+      100.0 * last.empty_fraction(), last.suboptimal_refs,
+      last.occupancy_pct());
 
 #if defined(LFST_METRICS)
   // Post-mortem view of what the fault schedule actually perturbed: retry
@@ -201,6 +237,35 @@ void run_schedule(const schedule& sched) {
     const auto stats = tree.stats();
     EXPECT_GT(stats.alloc_failures + stats.compactions_skipped, 0u);
   }
+
+  // Deterministic backlog witness: with compaction allocations failing,
+  // every removal that linearizes leaves its debt -- emptied leaves whose
+  // bypass was skipped, references aimed left of their interval -- in the
+  // structure, where nobody repairs it (the tree is quiesced).  The probe
+  // MUST see non-zero backlog now; the churn-time series above only might.
+  // Removes that fail pre-linearization (the leaf-erase allocation itself)
+  // throw and leave the key behind, which is fine: half the survivors
+  // linearizing is plenty of debt.
+  {
+    failpoint::scoped_failpoint fp(
+        "skiptree.alloc.contents",
+        policy{.act = action::fail, .probability = 0.5});
+    for (int key : expected) {
+      try {
+        tree.remove(key);
+      } catch (const std::bad_alloc&) {
+        // pre-linearization failure: key still present, no debt from it
+      }
+    }
+  }
+  const health_sample post = health.probe_now();
+  EXPECT_GT(post.compaction_backlog(), 0u)
+      << "mass removal with compaction allocations failing left no visible "
+         "debt; the health probe is blind";
+  std::printf(
+      "--- post-degradation probe '%s': %zu nodes, %zu empty, "
+      "%zu suboptimal ---\n",
+      sched.name, post.sampled_nodes, post.empty_nodes, post.suboptimal_refs);
   domain.flush();
 }
 

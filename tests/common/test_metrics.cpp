@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <barrier>
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -154,9 +155,10 @@ TEST(TraceRing, WraparoundKeepsNewestOldestFirst) {
 TEST(Registry, DrainTraceMergesThreadsInTimeOrder) {
   auto& reg = registry::instance();
   reg.reset();
-  // Hold every worker at a barrier until all four have claimed a ring: a
-  // thread that exits before another starts would have its ring recycled
-  // (and wiped) by the newcomer's fresh lease.
+  // Hold every worker at a barrier until all four have claimed a ring, so
+  // the four leases land on four distinct rings and the dump exercises a
+  // genuinely multi-ring merge (recycled rings preserve their contents, so
+  // no records would be lost either way -- they would just share a ring).
   std::barrier sync(4);
   std::vector<std::thread> workers;
   for (int t = 0; t < 4; ++t) {
@@ -265,6 +267,208 @@ TEST(Export, WriteJsonFileRoundTrips) {
   EXPECT_NE(contents.find("\"ebr.retires\""), std::string::npos);
   in.close();
   std::remove(path.c_str());
+  reg.reset();
+}
+
+// Minimal RFC 8259 recursive-descent parser, just enough to *strictly*
+// validate the exporter's output (the substring checks above would accept
+// broken quoting).  Accepts exactly one JSON value; rejects trailing bytes,
+// bad escapes, bare control characters and malformed numbers.
+namespace json8259 {
+
+struct cursor {
+  const std::string& s;
+  std::size_t i = 0;
+  bool eof() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+  bool eat(char c) {
+    if (eof() || s[i] != c) return false;
+    ++i;
+    return true;
+  }
+  void ws() {
+    while (!eof() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                      s[i] == '\r')) {
+      ++i;
+    }
+  }
+};
+
+bool value(cursor& c);  // forward
+
+bool string(cursor& c) {
+  if (!c.eat('"')) return false;
+  while (!c.eof()) {
+    const unsigned char ch = static_cast<unsigned char>(c.s[c.i]);
+    if (ch == '"') {
+      ++c.i;
+      return true;
+    }
+    if (ch < 0x20) return false;  // raw control char: must be escaped
+    if (ch == '\\') {
+      ++c.i;
+      if (c.eof()) return false;
+      const char e = c.s[c.i];
+      if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+          e == 'n' || e == 'r' || e == 't') {
+        ++c.i;
+      } else if (e == 'u') {
+        ++c.i;
+        for (int k = 0; k < 4; ++k) {
+          if (c.eof() || !std::isxdigit(static_cast<unsigned char>(c.peek())))
+            return false;
+          ++c.i;
+        }
+      } else {
+        return false;
+      }
+    } else {
+      ++c.i;
+    }
+  }
+  return false;  // unterminated
+}
+
+bool number(cursor& c) {
+  c.eat('-');
+  if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek())))
+    return false;
+  if (c.peek() == '0') {
+    ++c.i;
+  } else {
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek())))
+      ++c.i;
+  }
+  if (!c.eof() && c.peek() == '.') {
+    ++c.i;
+    if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek())))
+      return false;
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek())))
+      ++c.i;
+  }
+  if (!c.eof() && (c.peek() == 'e' || c.peek() == 'E')) {
+    ++c.i;
+    if (!c.eof() && (c.peek() == '+' || c.peek() == '-')) ++c.i;
+    if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek())))
+      return false;
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek())))
+      ++c.i;
+  }
+  return true;
+}
+
+bool object(cursor& c) {
+  if (!c.eat('{')) return false;
+  c.ws();
+  if (c.eat('}')) return true;
+  while (true) {
+    c.ws();
+    if (!string(c)) return false;
+    c.ws();
+    if (!c.eat(':')) return false;
+    c.ws();
+    if (!value(c)) return false;
+    c.ws();
+    if (c.eat('}')) return true;
+    if (!c.eat(',')) return false;
+  }
+}
+
+bool array(cursor& c) {
+  if (!c.eat('[')) return false;
+  c.ws();
+  if (c.eat(']')) return true;
+  while (true) {
+    c.ws();
+    if (!value(c)) return false;
+    c.ws();
+    if (c.eat(']')) return true;
+    if (!c.eat(',')) return false;
+  }
+}
+
+bool literal(cursor& c, const char* lit) {
+  const std::size_t n = std::char_traits<char>::length(lit);
+  if (c.s.compare(c.i, n, lit) != 0) return false;
+  c.i += n;
+  return true;
+}
+
+bool value(cursor& c) {
+  if (c.eof()) return false;
+  switch (c.peek()) {
+    case '{':
+      return object(c);
+    case '[':
+      return array(c);
+    case '"':
+      return string(c);
+    case 't':
+      return literal(c, "true");
+    case 'f':
+      return literal(c, "false");
+    case 'n':
+      return literal(c, "null");
+    default:
+      return number(c);
+  }
+}
+
+// True iff `line` is exactly one valid JSON value with nothing after it.
+bool parses(const std::string& line) {
+  cursor c{line};
+  c.ws();
+  if (!value(c)) return false;
+  c.ws();
+  return c.eof();
+}
+
+}  // namespace json8259
+
+TEST(Export, ParserSelfCheck) {
+  // The validator must be strict enough to matter.
+  EXPECT_TRUE(json8259::parses(R"({"a":1,"b":[true,null,"x\n"],"c":-0.5e3})"));
+  EXPECT_TRUE(json8259::parses(R"({"u":"\u00e9"})"));
+  EXPECT_FALSE(json8259::parses(R"({"a":1)"));          // unterminated object
+  EXPECT_FALSE(json8259::parses(R"({"a":01})"));        // leading zero
+  EXPECT_FALSE(json8259::parses(R"({"a":1} trailing)"));
+  EXPECT_FALSE(json8259::parses("{\"a\":\"\x01\"}"));   // raw control char
+  EXPECT_FALSE(json8259::parses(R"({"a":"\q"})"));      // bad escape
+  EXPECT_FALSE(json8259::parses(R"({"a" 1})"));         // missing colon
+}
+
+TEST(Export, EveryJsonLineSurvivesAStrictParser) {
+  auto& reg = registry::instance();
+  reg.reset();
+  // Populate every record type so every emit path in to_json_lines runs:
+  // counters, a histogram with several buckets, and trace events.
+  constexpr auto kCounters = static_cast<std::size_t>(cid::kCount);
+  constexpr auto kHists = static_cast<std::size_t>(hid::kCount);
+  constexpr auto kEvents = static_cast<std::size_t>(eid::kCount);
+  for (std::size_t i = 0; i < kCounters; ++i) {
+    reg.add(static_cast<cid>(i), i + 1);
+  }
+  for (std::size_t i = 0; i < kHists; ++i) {
+    reg.record(static_cast<hid>(i), 1);
+    reg.record(static_cast<hid>(i), 100);
+    reg.record(static_cast<hid>(i), 1u << 20);
+  }
+  std::vector<trace_record> events;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    events.push_back(trace_record{static_cast<eid>(i), 1000 + i, i * 7, i});
+  }
+  const std::string json = to_json_lines(reg.aggregate(), events);
+  std::istringstream is(json);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    EXPECT_TRUE(json8259::parses(line))
+        << "line " << lines << " is not valid JSON: " << line;
+  }
+  // One line per counter, histogram and event -- nothing elided, nothing
+  // merged across newlines.
+  EXPECT_EQ(lines, kCounters + kHists + kEvents);
   reg.reset();
 }
 

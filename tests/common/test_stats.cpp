@@ -52,7 +52,8 @@ TEST(Summary, OfComputesAllFields) {
   EXPECT_DOUBLE_EQ(s.min, 1.0);
   EXPECT_DOUBLE_EQ(s.max, 5.0);
   EXPECT_DOUBLE_EQ(s.p50, 3.0);
-  // Interpolated ranks: p95 at rank 0.95 * 4 = 3.8, p99 at rank 3.96.
+  // Interpolated ranks: p90 at rank 0.90 * 4 = 3.6, p95 at 3.8, p99 at 3.96.
+  EXPECT_DOUBLE_EQ(s.p90, 4.6);
   EXPECT_DOUBLE_EQ(s.p95, 4.8);
   EXPECT_DOUBLE_EQ(s.p99, 4.96);
 }
@@ -66,6 +67,11 @@ TEST(Summary, TailPercentilesInterpolateOnSmallSets) {
   EXPECT_DOUBLE_EQ(s.p99, 9.91);
   EXPECT_LT(s.p99, s.max);
   EXPECT_DOUBLE_EQ(s.p95, 9.55);
+  // p90 at rank 0.90 * 9 = 8.1; the shared interpolation path keeps the
+  // ordering p50 <= p90 <= p95 <= p99 by construction.
+  EXPECT_DOUBLE_EQ(s.p90, 9.1);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p95);
 }
 
 TEST(Summary, OfThrowsOnEmpty) {

@@ -1,0 +1,207 @@
+// Tier-1 coverage of the span-trace layer (trace.hpp, trace_export.hpp).
+//
+// The machinery is compiled in every build -- only the LFST_T_* macro
+// sites are gated -- so these tests drive spans, rings, the registry, and
+// both exporters directly, in ON and OFF builds alike.  The ON-only
+// assertion that the *structures'* hot paths record spans lives in
+// tests/trace/test_trace_sites.cpp.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "common/trace_export.hpp"
+
+namespace lfst::trace {
+namespace {
+
+TEST(SpanNames, TableMatchesEnum) {
+  EXPECT_EQ(span_name(sid::skiptree_contains), "skiptree.contains");
+  EXPECT_EQ(span_name(sid::health_probe), "skiptree.health_probe");
+  for (std::size_t i = 0; i < static_cast<std::size_t>(sid::kCount); ++i) {
+    EXPECT_FALSE(span_name(static_cast<sid>(i)).empty());
+  }
+}
+
+TEST(SpanRing, PushAndDrainRoundTrips) {
+  span_ring ring;
+  ring.push(sid::skiptree_add, 100, 250, 3, 7);
+  ring.push(sid::pool_refill, 300, 310, 0, 0);
+  std::vector<span_record> out;
+  ring.drain_into(out, 42);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, sid::skiptree_add);
+  EXPECT_EQ(out[0].t0, 100u);
+  EXPECT_EQ(out[0].t1, 250u);
+  EXPECT_EQ(out[0].retries, 3u);
+  EXPECT_EQ(out[0].depth, 7u);
+  EXPECT_EQ(out[0].thread, 42u);
+  EXPECT_EQ(out[1].id, sid::pool_refill);
+}
+
+TEST(SpanRing, WraparoundKeepsNewestSpans) {
+  span_ring ring;
+  const std::uint64_t total = span_ring::kCapacity + 100;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    ring.push(sid::harris_add, i, i + 1, 0, 0);
+  }
+  EXPECT_EQ(ring.pushed(), total);
+  std::vector<span_record> out;
+  ring.drain_into(out, 0);
+  ASSERT_EQ(out.size(), span_ring::kCapacity);
+  // Oldest surviving span is the one pushed at index total - kCapacity.
+  EXPECT_EQ(out.front().t0, total - span_ring::kCapacity);
+  EXPECT_EQ(out.back().t0, total - 1);
+}
+
+TEST(ScopedSpan, RecordsIntoRegistryWithRetriesAndSteps) {
+  trace_registry::instance().reset();
+  {
+    scoped_span span(sid::skiptree_remove);
+    note_retry();
+    note_retry();
+    note_step();
+  }
+  const auto spans = trace_registry::instance().drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].id, sid::skiptree_remove);
+  EXPECT_EQ(spans[0].retries, 2u);
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_GE(spans[0].t1, spans[0].t0);
+}
+
+TEST(ScopedSpan, NestedSpansChargeInnermost) {
+  trace_registry::instance().reset();
+  {
+    scoped_span outer(sid::skiptree_add);
+    note_retry();  // outer
+    {
+      scoped_span inner(sid::pool_refill);
+      note_retry();  // inner
+      note_retry();  // inner
+    }
+    note_step();  // outer again, after inner restored the TLS slot
+  }
+  auto spans = trace_registry::instance().drain();
+  ASSERT_EQ(spans.size(), 2u);
+  // drain() orders by t0: outer begins first.
+  EXPECT_EQ(spans[0].id, sid::skiptree_add);
+  EXPECT_EQ(spans[0].retries, 1u);
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].id, sid::pool_refill);
+  EXPECT_EQ(spans[1].retries, 2u);
+  EXPECT_EQ(spans[1].depth, 0u);
+}
+
+TEST(ScopedSpan, NotesOutsideAnySpanAreIgnored) {
+  trace_registry::instance().reset();
+  note_retry();
+  note_step();
+  EXPECT_TRUE(trace_registry::instance().drain().empty());
+}
+
+TEST(TraceRegistry, MultiThreadSpansAllSurface) {
+  trace_registry::instance().reset();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPer = 64;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([] {
+      for (int i = 0; i < kSpansPer; ++i) {
+        scoped_span span(sid::skiplist_contains);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const auto spans = trace_registry::instance().drain();
+  EXPECT_EQ(spans.size(),
+            static_cast<std::size_t>(kThreads) * kSpansPer);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].t0, spans[i].t0) << "drain() must sort by t0";
+  }
+}
+
+TEST(TraceRegistry, TickRateIsPositive) {
+  EXPECT_GT(trace_registry::instance().ticks_per_us(), 0.0);
+}
+
+// --- exporters ---------------------------------------------------------------
+
+std::vector<span_record> sample_spans() {
+  return {
+      span_record{sid::skiptree_add, 1000, 1500, 2, 5, 0},
+      span_record{sid::blink_remove, 1200, 1300, 0, 1, 1},
+      span_record{sid::ebr_advance, 2000, 2000, 0, 0, 0},
+  };
+}
+
+TEST(ChromeJson, ShapeAndRelativeTimestamps) {
+  const std::string json = to_chrome_json(sample_spans(), 1.0);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"skiptree.add\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"retries\":2"), std::string::npos);
+  // Timestamps are base-relative: the earliest span (absolute tsc 1000)
+  // exports at ts 0, and no absolute tsc value (>= 1000 up to 2000)
+  // survives into the document.
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos);
+  EXPECT_EQ(json.find("\"ts\":2000"), std::string::npos);
+}
+
+TEST(ChromeJson, EmptyDumpIsValid) {
+  EXPECT_EQ(to_chrome_json({}, 1.0),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\"}");
+}
+
+TEST(BinaryFormat, RoundTripsExactly) {
+  const auto spans = sample_spans();
+  const std::string blob = to_binary(spans, 2.5);
+  EXPECT_EQ(blob.size(), kBinaryHeaderSize + kBinaryRecordSize * spans.size());
+
+  std::vector<span_record> back;
+  double tpu = 0.0;
+  ASSERT_TRUE(read_binary(blob, back, tpu));
+  EXPECT_DOUBLE_EQ(tpu, 2.5);
+  ASSERT_EQ(back.size(), spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(back[i].id, spans[i].id);
+    EXPECT_EQ(back[i].t0, spans[i].t0);
+    EXPECT_EQ(back[i].t1, spans[i].t1);
+    EXPECT_EQ(back[i].retries, spans[i].retries);
+    EXPECT_EQ(back[i].depth, spans[i].depth);
+    EXPECT_EQ(back[i].thread, spans[i].thread);
+  }
+}
+
+TEST(BinaryFormat, RejectsCorruptInput) {
+  std::vector<span_record> out;
+  double tpu = 0.0;
+  EXPECT_FALSE(read_binary("", out, tpu));
+  EXPECT_FALSE(read_binary("NOTATRACEFILE___________________", out, tpu));
+
+  // Valid header, truncated body.
+  std::string blob = to_binary(sample_spans(), 1.0);
+  EXPECT_FALSE(read_binary(blob.substr(0, blob.size() - 1), out, tpu));
+
+  // Out-of-range span id.
+  std::string bad = blob;
+  bad[kBinaryHeaderSize + 32] = char(0xff);
+  bad[kBinaryHeaderSize + 33] = char(0xff);
+  EXPECT_FALSE(read_binary(bad, out, tpu));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Macros, CompileInEveryBuild) {
+  // In OFF builds these are ((void)0); in ON builds they record. Either
+  // way they must compile and run without a registry precondition.
+  LFST_T_SPAN(::lfst::trace::sid::harris_contains);
+  LFST_T_RETRY();
+  LFST_T_STEP();
+}
+
+}  // namespace
+}  // namespace lfst::trace

@@ -15,6 +15,7 @@
 #include "blinktree/blink_tree.hpp"
 #include "common/metrics.hpp"
 #include "list/harris_list.hpp"
+#include "reclaim/ebr.hpp"
 #include "skiplist/skip_list.hpp"
 #include "skiptree/skip_tree.hpp"
 
@@ -160,6 +161,73 @@ TEST(BlinkSites, SplitsCount) {
   EXPECT_EQ(reg().counter(cid::blink_half_split_repairs),
             reg().counter(cid::blink_splits) -
                 reg().counter(cid::blink_root_splits));
+  reg().reset();
+}
+
+TEST(BlinkSites, ContendedSplitAccountingStaysConsistent) {
+  reg().reset();
+  blinktree::blink_tree_options o;
+  o.min_node_size = 64;
+  blinktree::blink_tree<long> bt(o);
+  constexpr int kThreads = 4;
+  std::barrier sync(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&bt, &sync, t] {
+      sync.arrive_and_wait();
+      // Disjoint but interleaved key stripes: all threads split leaves at
+      // the same time, racing on shared parents.
+      for (long i = 0; i < 8000; ++i) bt.add(i * kThreads + t);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto splits = reg().counter(cid::blink_splits);
+  const auto root_splits = reg().counter(cid::blink_root_splits);
+  const auto repairs = reg().counter(cid::blink_half_split_repairs);
+  const auto left = reg().counter(cid::blink_half_splits_left);
+  EXPECT_GT(splits, 0u);
+  EXPECT_GE(root_splits, 1u);
+  EXPECT_GT(repairs, 0u);
+  // Every split is accounted exactly once no matter the interleaving: a
+  // root raise, a repaired half-split, or a half-split abandoned on OOM.
+  EXPECT_EQ(repairs + left, splits - root_splits);
+  reg().reset();
+}
+
+TEST(EbrSites, AdvanceLatencyRecordsUnderContention) {
+  reg().reset();
+  reclaim::ebr_domain domain;
+  {
+    skiptree::skip_tree<long> tree(skiptree::skip_tree_options{}, domain);
+    constexpr int kThreads = 4;
+    std::barrier sync(kThreads);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&tree, &sync, t] {
+        sync.arrive_and_wait();
+        // Heavy retire traffic from every thread forces repeated epoch
+        // advances while other threads are pinned mid-operation.
+        for (long i = 0; i < 10000; ++i) {
+          const long k = t * 100000 + i;
+          tree.add(k);
+          tree.remove(k);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  domain.flush();
+  // The first successful advance only seeds the baseline, so N advances
+  // yield N-1 latency samples; with four threads retiring 20k nodes each
+  // there must be many.
+  const auto latency = reg().histogram(hid::ebr_advance_ticks);
+  EXPECT_GT(latency.count, 1u);
+  EXPECT_GE(latency.sum, latency.count) << "tsc deltas are >= 1 tick";
+  bool saw_advance_event = false;
+  for (const auto& rec : reg().drain_trace()) {
+    if (rec.id == eid::ebr_advance) saw_advance_event = true;
+  }
+  EXPECT_TRUE(saw_advance_event);
   reg().reset();
 }
 

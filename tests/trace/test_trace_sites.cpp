@@ -1,0 +1,232 @@
+// ON-only (-DLFST_TRACE) site coverage: the LFST_T_* annotations threaded
+// through the four structures, the pool, and EBR must actually record
+// spans with the right ids -- and the retry/step notes must land on the
+// *operation* spans that were live when the deep sites fired.
+//
+// Each case quiesces (joins its threads) before draining, so counts are
+// exact; the per-thread rings hold 4096 spans each and every case stays
+// comfortably below that.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "blinktree/blink_tree.hpp"
+#include "common/trace.hpp"
+#include "list/harris_list.hpp"
+#include "reclaim/ebr.hpp"
+#include "skiplist/skip_list.hpp"
+#include "skiptree/health.hpp"
+#include "skiptree/skip_tree.hpp"
+
+namespace lfst {
+namespace {
+
+using trace::sid;
+using trace::span_record;
+using trace::trace_registry;
+
+std::array<std::size_t, static_cast<std::size_t>(sid::kCount)> tally(
+    const std::vector<span_record>& spans) {
+  std::array<std::size_t, static_cast<std::size_t>(sid::kCount)> n{};
+  for (const span_record& s : spans) {
+    ++n[static_cast<std::size_t>(s.id)];
+  }
+  return n;
+}
+
+std::size_t at(const std::array<std::size_t,
+                                static_cast<std::size_t>(sid::kCount)>& n,
+               sid id) {
+  return n[static_cast<std::size_t>(id)];
+}
+
+TEST(SkipTreeSpans, EveryOperationRecordsOne) {
+  trace_registry::instance().reset();
+  reclaim::ebr_domain domain;
+  skiptree::skip_tree<int> tree(skiptree::skip_tree_options{}, domain);
+  for (int k = 0; k < 100; ++k) ASSERT_TRUE(tree.add(k));
+  for (int k = 0; k < 100; ++k) ASSERT_TRUE(tree.contains(k));
+  for (int k = 0; k < 50; ++k) ASSERT_TRUE(tree.remove(k));
+
+  const auto n = tally(trace_registry::instance().drain());
+  EXPECT_EQ(at(n, sid::skiptree_add), 100u);
+  EXPECT_EQ(at(n, sid::skiptree_contains), 100u);
+  EXPECT_EQ(at(n, sid::skiptree_remove), 50u);
+}
+
+TEST(SkipTreeSpans, DepthGrowsWithTheTree) {
+  trace_registry::instance().reset();
+  reclaim::ebr_domain domain;
+  skiptree::skip_tree_options o;
+  o.q_log2 = 2;  // narrow nodes: a few thousand keys build real height
+  skiptree::skip_tree<int> tree(o, domain);
+  for (int k = 0; k < 4000; ++k) tree.add(k);
+  trace_registry::instance().reset();  // look at post-build operations only
+
+  for (int k = 0; k < 64; ++k) tree.contains(k * 50);
+  const auto spans = trace_registry::instance().drain();
+  ASSERT_EQ(spans.size(), 64u);
+  std::uint64_t total_depth = 0;
+  for (const auto& s : spans) total_depth += s.depth;
+  EXPECT_GT(total_depth, 0u)
+      << "descend_to_leaf steps must be charged to the contains span";
+}
+
+TEST(SkipTreeSpans, ContentionChargesRetriesToMutationSpans) {
+  // Every lost CAS funnels through tree_core::bump(cas_failures), which
+  // charges the innermost live span -- so across a quiesced run with no
+  // ring wraparound, span-charged retries must equal the tree's own
+  // cas_failures counter EXACTLY.  Whether contention happens at all is up
+  // to the scheduler (a single-core box can interleave 4 threads without
+  // one lost race), so hammer in bounded attempts until the tree reports a
+  // lost CAS, and skip -- visibly, not silently green -- if the scheduler
+  // never delivers one.
+  reclaim::ebr_domain domain;
+  skiptree::skip_tree<int> tree(skiptree::skip_tree_options{}, domain);
+  constexpr int kThreads = 4;
+  // 2 spans per round per thread: stays well under the 4096-slot rings, so
+  // no retry-carrying span can be overwritten before the drain.
+  constexpr int kRounds = 1000;
+  constexpr int kAttempts = 20;
+
+  std::uint64_t failures_before = 0;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    trace_registry::instance().reset();
+    failures_before = tree.stats().cas_failures;
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&] {
+        ready.fetch_add(1);
+        while (!go.load()) std::this_thread::yield();
+        for (int i = 0; i < kRounds; ++i) {
+          tree.add(i % 8);
+          tree.remove(i % 8);
+        }
+      });
+    }
+    while (ready.load() != kThreads) std::this_thread::yield();
+    go.store(true);
+    for (auto& th : pool) th.join();
+    if (tree.stats().cas_failures > failures_before) break;
+  }
+
+  const std::uint64_t failures =
+      tree.stats().cas_failures - failures_before;
+  if (failures == 0) {
+    GTEST_SKIP() << "scheduler never produced a lost CAS in " << kAttempts
+                 << " contended attempts; nothing to charge";
+  }
+  const auto spans = trace_registry::instance().drain();
+  std::uint64_t retries = 0;
+  for (const auto& s : spans) {
+    if (s.id == sid::skiptree_add || s.id == sid::skiptree_remove) {
+      retries += s.retries;
+    }
+  }
+  EXPECT_EQ(retries, failures)
+      << "every lost CAS must be charged to exactly one add/remove span";
+}
+
+TEST(SkipListSpans, OperationsRecord) {
+  trace_registry::instance().reset();
+  reclaim::ebr_domain domain;
+  skiplist::skip_list<int> list(skiplist::skip_list_options{}, domain);
+  for (int k = 0; k < 50; ++k) ASSERT_TRUE(list.add(k));
+  for (int k = 0; k < 50; ++k) ASSERT_TRUE(list.contains(k));
+  for (int k = 0; k < 50; ++k) ASSERT_TRUE(list.remove(k));
+  const auto n = tally(trace_registry::instance().drain());
+  EXPECT_EQ(at(n, sid::skiplist_add), 50u);
+  EXPECT_EQ(at(n, sid::skiplist_contains), 50u);
+  EXPECT_EQ(at(n, sid::skiplist_remove), 50u);
+}
+
+TEST(HarrisSpans, BothFlavorsRecord) {
+  trace_registry::instance().reset();
+  {
+    reclaim::ebr_domain domain;
+    list::harris_list<int> ebr_list(domain);
+    for (int k = 0; k < 20; ++k) ASSERT_TRUE(ebr_list.add(k));
+    for (int k = 0; k < 20; ++k) ASSERT_TRUE(ebr_list.contains(k));
+    for (int k = 0; k < 20; ++k) ASSERT_TRUE(ebr_list.remove(k));
+  }
+  {
+    list::harris_list_hp<int> hp_list;
+    for (int k = 0; k < 20; ++k) ASSERT_TRUE(hp_list.add(k));
+    for (int k = 0; k < 20; ++k) ASSERT_TRUE(hp_list.contains(k));
+    for (int k = 0; k < 20; ++k) ASSERT_TRUE(hp_list.remove(k));
+  }
+  const auto n = tally(trace_registry::instance().drain());
+  EXPECT_EQ(at(n, sid::harris_add), 40u);
+  EXPECT_EQ(at(n, sid::harris_contains), 40u);
+  EXPECT_EQ(at(n, sid::harris_remove), 40u);
+}
+
+TEST(BlinkSpans, OperationsRecord) {
+  trace_registry::instance().reset();
+  blinktree::blink_tree_options o;
+  o.min_node_size = 4;
+  blinktree::blink_tree<int> tree(o);
+  for (int k = 0; k < 100; ++k) ASSERT_TRUE(tree.add(k));
+  for (int k = 0; k < 100; ++k) ASSERT_TRUE(tree.contains(k));
+  for (int k = 0; k < 100; ++k) ASSERT_TRUE(tree.remove(k));
+  const auto n = tally(trace_registry::instance().drain());
+  EXPECT_EQ(at(n, sid::blink_add), 100u);
+  EXPECT_EQ(at(n, sid::blink_contains), 100u);
+  EXPECT_EQ(at(n, sid::blink_remove), 100u);
+}
+
+TEST(SubsystemSpans, PoolRefillAndEbrAdvanceAndHealthProbe) {
+  trace_registry::instance().reset();
+  reclaim::ebr_domain domain;
+  {
+    skiptree::skip_tree<int> tree(skiptree::skip_tree_options{}, domain);
+    // Enough allocation traffic to force thread-local cache refills, and
+    // enough retires that the domain advances its epoch.
+    for (int k = 0; k < 3000; ++k) tree.add(k);
+    for (int k = 0; k < 3000; ++k) tree.remove(k);
+
+    skiptree::skip_tree_health<int> health(tree);
+    health.probe();
+  }
+  domain.flush();
+
+  const auto n = tally(trace_registry::instance().drain());
+  EXPECT_GT(at(n, sid::pool_refill), 0u);
+  EXPECT_GT(at(n, sid::ebr_advance), 0u);
+  EXPECT_EQ(at(n, sid::health_probe), 1u);
+}
+
+TEST(SubsystemSpans, NestedRefillStaysInsideOperationSpan) {
+  // A pool refill fires mid-add; the spans nest, so both must surface and
+  // the add span must fully contain the refill span in time.
+  trace_registry::instance().reset();
+  reclaim::ebr_domain domain;
+  skiptree::skip_tree<int> tree(skiptree::skip_tree_options{}, domain);
+  for (int k = 0; k < 3000; ++k) tree.add(k);
+
+  const auto spans = trace_registry::instance().drain();
+  bool found_nested = false;
+  for (const auto& refill : spans) {
+    if (refill.id != sid::pool_refill) continue;
+    for (const auto& add : spans) {
+      if (add.id == sid::skiptree_add && add.thread == refill.thread &&
+          add.t0 <= refill.t0 && refill.t1 <= add.t1) {
+        found_nested = true;
+        break;
+      }
+    }
+    if (found_nested) break;
+  }
+  EXPECT_TRUE(found_nested)
+      << "at least one refill should fire inside a traced add";
+}
+
+}  // namespace
+}  // namespace lfst

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a --bench-json run against a baseline.
+
+Both files are the documents written by the benches' bench_json_reporter
+(bench_common.hpp): {"bench": ..., "entries": [{"name", "threads",
+"trials", "ops_per_ms": {"mean", "stddev", ...}}, ...]}.  Entries are
+joined on their name; a candidate entry regresses when its mean throughput
+drops below the baseline mean by more than BOTH the relative threshold and
+the noise allowance:
+
+    drop > max(threshold * base_mean,
+               noise_sigma * hypot(base_stddev, cand_stddev))
+
+(both runs' trial-to-trial stddevs combine in quadrature -- a drop has to
+clear the noise of the run that measured it, not just the baseline's).
+
+Checked-in baselines were recorded on some machine; yours is faster or
+slower everywhere by roughly one factor.  --normalize estimates that
+factor as the median candidate/baseline mean ratio across all joined
+entries and divides it out, so the gate catches *relative* regressions
+(one configuration sinking while the rest hold) rather than absolute
+machine speed.  Without --normalize the comparison is absolute -- right
+for same-machine before/after runs.
+
+--self-test needs only the baseline: it replays the baseline against
+itself (must pass) and against a copy with every mean scaled by 0.8 (a
+synthetic 20% regression -- must fail), exiting nonzero if the gate logic
+misbehaves.  CI runs this deterministic check plus a lenient --normalize
+diff of the real run.
+
+Exit status: 0 clean, 1 regression (or self-test logic failure), 2 usage.
+"""
+
+import argparse
+import copy
+import json
+import math
+import statistics
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    entries = {e["name"]: e for e in doc.get("entries", [])}
+    if not entries:
+        raise SystemExit(f"bench_gate: no entries in {path}")
+    return doc, entries
+
+
+def joined(base, cand):
+    names = [n for n in base if n in cand]
+    missing = [n for n in base if n not in cand]
+    return names, missing
+
+
+def scale_factor(base, cand, names):
+    ratios = []
+    for n in names:
+        bm = base[n]["ops_per_ms"]["mean"]
+        cm = cand[n]["ops_per_ms"]["mean"]
+        if bm > 0 and cm > 0:
+            ratios.append(cm / bm)
+    return statistics.median(ratios) if ratios else 1.0
+
+
+def diff(base, cand, threshold, noise_sigma, normalize, out=sys.stdout):
+    """Returns the list of regressed entry names (missing entries count)."""
+    names, missing = joined(base, cand)
+    factor = scale_factor(base, cand, names) if normalize else 1.0
+    if normalize:
+        print(f"bench_gate: machine factor (median ratio) = {factor:.3f}",
+              file=out)
+    regressed = list(missing)
+    for n in missing:
+        print(f"  MISSING  {n}: in baseline but not in candidate", file=out)
+    for n in names:
+        b = base[n]["ops_per_ms"]
+        c = cand[n]["ops_per_ms"]
+        cand_mean = c["mean"] / factor
+        drop = b["mean"] - cand_mean
+        allowance = max(threshold * b["mean"],
+                        noise_sigma * math.hypot(b["stddev"],
+                                                 c["stddev"] / factor))
+        if drop > allowance:
+            regressed.append(n)
+            print(f"  REGRESSED {n}: baseline {b['mean']:.1f} -> "
+                  f"candidate {cand_mean:.1f} ops/ms "
+                  f"(drop {drop:.1f} > allowance {allowance:.1f})", file=out)
+    print(f"bench_gate: {len(names)} entries compared, "
+          f"{len(missing)} missing, "
+          f"{len(regressed) - len(missing)} regressed", file=out)
+    return regressed
+
+
+def self_test(base, threshold, noise_sigma):
+    clean = diff(base, base, threshold, noise_sigma, normalize=False)
+    if clean:
+        print("bench_gate self-test: FAIL (clean self-compare regressed)")
+        return 1
+    slowed = copy.deepcopy(base)
+    for e in slowed.values():
+        e["ops_per_ms"]["mean"] *= 0.8
+    # The synthetic regression must trip even with normalization on: a
+    # uniform 20% slowdown with --normalize would be absorbed into the
+    # machine factor, so self-test exercises the absolute path.
+    broken = diff(base, slowed, threshold, noise_sigma, normalize=False)
+    if not broken:
+        print("bench_gate self-test: FAIL "
+              "(synthetic 20% regression slipped through)")
+        return 1
+    print("bench_gate self-test: OK "
+          "(clean run passes, 20% synthetic regression fails)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in BENCH_*.json baseline")
+    ap.add_argument("--candidate",
+                    help="bench JSON from the run under test")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="relative drop tolerated (default 0.15)")
+    ap.add_argument("--noise-sigma", type=float, default=2.0,
+                    help="stddev multiples tolerated (default 2.0)")
+    ap.add_argument("--normalize", action="store_true",
+                    help="divide out the median machine-speed ratio")
+    ap.add_argument("--max-regressions", type=int, default=0,
+                    help="entries allowed to regress before the gate fails "
+                         "(default 0; CI uses a small slack for noisy "
+                         "shared runners)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate trips on a synthetic 20%% "
+                         "regression and passes a clean self-compare")
+    args = ap.parse_args()
+
+    _, base = load(args.baseline)
+    if args.self_test:
+        sys.exit(self_test(base, args.threshold, args.noise_sigma))
+    if not args.candidate:
+        ap.error("--candidate is required unless --self-test")
+    _, cand = load(args.candidate)
+    regressed = diff(base, cand, args.threshold, args.noise_sigma,
+                     args.normalize)
+    if len(regressed) > args.max_regressions:
+        sys.exit(1)
+    if regressed:
+        print(f"bench_gate: {len(regressed)} regression(s) within "
+              f"--max-regressions {args.max_regressions}; passing")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Convert an LFST binary span trace to Chrome/Perfetto trace_event JSON.
+
+The binary format is produced by write_binary_file() in
+src/common/trace_export.hpp (an -DLFST_TRACE=ON build with --trace-bin=PATH
+on any bench).  Layout, little-endian:
+
+    header  "<8sQdQ"     magic b"LFSTTRC1", u64 count, f64 ticks_per_us,
+                         u64 tsc base (already subtracted from the records)
+    record  "<QQQIIH6x"  u64 t0, u64 t1, u64 thread,
+                         u32 retries, u32 depth, u16 span id
+
+Span ids index kSpanNames in src/common/trace.hpp; the table below must be
+kept in lockstep with that enum (the C++ side static_asserts its own copy).
+
+Usage:
+    tools/trace2perfetto.py trace.bin [-o trace.json]
+
+Then open the JSON at https://ui.perfetto.dev or chrome://tracing.
+"""
+
+import argparse
+import json
+import struct
+import sys
+
+MAGIC = b"LFSTTRC1"
+HEADER = struct.Struct("<8sQdQ")
+RECORD = struct.Struct("<QQQIIH6x")
+
+# Mirrors lfst::trace::kSpanNames (trace.hpp); order matters.
+SPAN_NAMES = [
+    "skiptree.contains",
+    "skiptree.add",
+    "skiptree.remove",
+    "skiplist.contains",
+    "skiplist.add",
+    "skiplist.remove",
+    "harris.contains",
+    "harris.add",
+    "harris.remove",
+    "blink.contains",
+    "blink.add",
+    "blink.remove",
+    "pool.refill",
+    "ebr.advance",
+    "skiptree.health_probe",
+]
+
+
+def convert(blob: bytes) -> dict:
+    if len(blob) < HEADER.size:
+        raise ValueError("truncated header (%d bytes)" % len(blob))
+    magic, count, ticks_per_us, _base = HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise ValueError("bad magic %r (not an LFST binary trace?)" % magic)
+    if ticks_per_us <= 0.0:
+        ticks_per_us = 1.0
+    need = HEADER.size + RECORD.size * count
+    if len(blob) < need:
+        raise ValueError(
+            "truncated body: header promises %d records (%d bytes), file has %d"
+            % (count, need, len(blob))
+        )
+    events = []
+    for i in range(count):
+        t0, t1, thread, retries, depth, sid = RECORD.unpack_from(
+            blob, HEADER.size + RECORD.size * i
+        )
+        if sid >= len(SPAN_NAMES):
+            raise ValueError("record %d has unknown span id %d" % (i, sid))
+        events.append(
+            {
+                "name": SPAN_NAMES[sid],
+                "ph": "X",
+                "pid": 0,
+                "tid": thread,
+                "ts": t0 / ticks_per_us,
+                "dur": max(t1 - t0, 0) / ticks_per_us,
+                "args": {"retries": retries, "depth": depth},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("input", help="binary trace file (from --trace-bin=PATH)")
+    ap.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output JSON path (default: <input>.json)",
+    )
+    args = ap.parse_args(argv)
+
+    with open(args.input, "rb") as f:
+        blob = f.read()
+    try:
+        doc = convert(blob)
+    except ValueError as e:
+        print("trace2perfetto: %s" % e, file=sys.stderr)
+        return 1
+
+    out_path = args.output or args.input + ".json"
+    with open(out_path, "w") as f:
+        json.dump(doc, f)
+    print(
+        "trace2perfetto: %d spans -> %s" % (len(doc["traceEvents"]), out_path)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
