@@ -74,6 +74,9 @@ class opt_tree {
   bool contains(const T& v) const {
     guard_t g(domain_);
     for (;;) {
+      // Eviction safe point: every attempt re-descends from the root, so a
+      // republished pin needs no pointer invalidation handling here.
+      (void)g.check();
       node* right = root_holder_->right.load(std::memory_order_acquire);
       if (right == nullptr) return false;
       const std::uint64_t ovl = wait_until_stable(right);
@@ -157,6 +160,9 @@ class opt_tree {
     bool have_last = false;
     T last{};
     for (;;) {
+      // Safe point between successor descents (`last` is a value, not a
+      // pointer, so an eviction invalidates nothing the cursor holds).
+      (void)g.check();
       T next{};
       bool next_present = false;
       if (!successor(have_last ? &last : nullptr, next, next_present)) {
@@ -284,7 +290,7 @@ class opt_tree {
       delete static_cast<node*>(p);
     }
     reclaim::retired_block as_retired() noexcept {
-      return reclaim::retired_block{this, &node::destroy_erased};
+      return reclaim::retired_block{this, &node::destroy_erased, sizeof(node)};
     }
   };
 

@@ -62,8 +62,12 @@ class snap_tree {
   /// Wait-free: one descent through an immutable snapshot.
   bool contains(const T& v) const {
     guard_t g(domain_);
+  restart:
     const node* n = root_.load(std::memory_order_acquire);
     while (n != nullptr) {
+      // Eviction safe point: a flagged reader restarts the descent from the
+      // (immortal) root pointer under a fresh pin.
+      if (g.check()) goto restart;
       if (cmp_(v, n->key)) {
         n = n->left;
       } else if (cmp_(n->key, v)) {
@@ -79,6 +83,7 @@ class snap_tree {
     guard_t g(domain_);
     backoff bo;
     for (;;) {
+      (void)g.check();  // safe point: each attempt rebuilds from the root
       node* old_root = root_.load(std::memory_order_acquire);
       build_ctx ctx;
       bool added = false;
@@ -103,6 +108,7 @@ class snap_tree {
     guard_t g(domain_);
     backoff bo;
     for (;;) {
+      (void)g.check();  // safe point: each attempt rebuilds from the root
       node* old_root = root_.load(std::memory_order_acquire);
       build_ctx ctx;
       bool removed = false;
@@ -253,7 +259,8 @@ class snap_tree {
     }
     void retire_replaced(domain_t& d) {
       for (node* n : replaced) {
-        Reclaim::retire(d, reclaim::retired_block{n, &node::destroy_erased});
+        Reclaim::retire(d, reclaim::retired_block{n, &node::destroy_erased,
+                                                  sizeof(node)});
       }
       replaced.clear();
       fresh.clear();

@@ -101,6 +101,13 @@ enum class cid : std::uint16_t {
   ebr_retires,
   ebr_advances,
   ebr_advance_stalls,
+  ebr_stalls_detected,
+  ebr_self_evictions,
+  ebr_quarantines,
+  ebr_limbo_handoffs,
+  ebr_cap_deferrals,
+  ebr_escape_frees,
+  pool_pressure_trims,
   kCount
 };
 
@@ -134,6 +141,13 @@ inline constexpr std::string_view kCounterNames[] = {
     "ebr.retires",
     "ebr.advances",
     "ebr.advance_stalls",
+    "ebr.stalls_detected",
+    "ebr.self_evictions",
+    "ebr.quarantines",
+    "ebr.limbo_handoffs",
+    "ebr.cap_deferrals",
+    "ebr.escape_frees",
+    "pool.pressure_trims",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
               static_cast<std::size_t>(cid::kCount));
@@ -146,6 +160,7 @@ enum class hid : std::uint16_t {
   ebr_limbo_depth,                  ///< retire-queue depth at each retire()
   skiptree_health_backlog,          ///< empty nodes + suboptimal refs per probe
   skiptree_health_occupancy_pct,    ///< avg node fill vs 1/q ideal, percent
+  ebr_stall_age_ticks,              ///< tsc age of a stalled slot at detection
   kCount
 };
 
@@ -156,6 +171,7 @@ inline constexpr std::string_view kHistNames[] = {
     "ebr.limbo_depth",
     "skiptree.health_backlog",
     "skiptree.health_occupancy_pct",
+    "ebr.stall_age_ticks",
 };
 static_assert(sizeof(kHistNames) / sizeof(kHistNames[0]) ==
               static_cast<std::size_t>(hid::kCount));
@@ -170,6 +186,8 @@ enum class eid : std::uint16_t {
   skiptree_compact_8d,
   ebr_advance,
   skiptree_health_probe,
+  ebr_stall,
+  ebr_quarantine,
   kCount
 };
 
@@ -182,9 +200,27 @@ inline constexpr std::string_view kEventNames[] = {
     "skiptree.compact_8d",
     "ebr.advance",
     "skiptree.health_probe",
+    "ebr.stall",
+    "ebr.quarantine",
 };
 static_assert(sizeof(kEventNames) / sizeof(kEventNames[0]) ==
               static_cast<std::size_t>(eid::kCount));
+
+/// Gauge ids: single process-wide values updated by CAS-max (high-watermarks).
+/// Unlike counters these are not sharded -- updates are rare (watchdog ticks,
+/// cap events), and a watermark must be a single monotone cell to be exact.
+enum class gid : std::uint16_t {
+  ebr_limbo_bytes_hwm = 0,   ///< peak domain-wide retired-bytes in limbo
+  ebr_overflow_bytes_hwm,    ///< peak bytes parked on the domain overflow list
+  kCount
+};
+
+inline constexpr std::string_view kGaugeNames[] = {
+    "ebr.limbo_bytes_hwm",
+    "ebr.overflow_bytes_hwm",
+};
+static_assert(sizeof(kGaugeNames) / sizeof(kGaugeNames[0]) ==
+              static_cast<std::size_t>(gid::kCount));
 
 constexpr std::string_view counter_name(cid id) noexcept {
   return kCounterNames[static_cast<std::size_t>(id)];
@@ -194,6 +230,9 @@ constexpr std::string_view hist_name(hid id) noexcept {
 }
 constexpr std::string_view event_name(eid id) noexcept {
   return kEventNames[static_cast<std::size_t>(id)];
+}
+constexpr std::string_view gauge_name(gid id) noexcept {
+  return kGaugeNames[static_cast<std::size_t>(id)];
 }
 
 // --- time source -------------------------------------------------------------
@@ -283,6 +322,11 @@ struct counter_snapshot {
   std::uint64_t value = 0;
 };
 
+struct gauge_snapshot {
+  std::string_view name;
+  std::uint64_t value = 0;
+};
+
 /// One drained trace record, annotated with its source thread.
 struct trace_record {
   eid id{};
@@ -296,12 +340,16 @@ struct trace_record {
 struct metrics_snapshot {
   std::vector<counter_snapshot> counters;
   std::vector<hist_snapshot> histograms;
+  std::vector<gauge_snapshot> gauges;
 
   std::uint64_t counter(cid id) const noexcept {
     return counters[static_cast<std::size_t>(id)].value;
   }
   const hist_snapshot& histogram(hid id) const noexcept {
     return histograms[static_cast<std::size_t>(id)];
+  }
+  std::uint64_t gauge(gid id) const noexcept {
+    return gauges[static_cast<std::size_t>(id)].value;
   }
 };
 
@@ -467,6 +515,15 @@ class registry {
     rings_.my_ring().push(id, tsc_now(), payload);
   }
 
+  /// Raise a high-watermark gauge to `v` if it is below it (CAS-max).
+  void gauge_max(gid id, std::uint64_t v) noexcept {
+    std::atomic<std::uint64_t>& g = gauges_[static_cast<std::size_t>(id)];
+    std::uint64_t cur = g.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !g.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
   // --- aggregation (quiesce for exactness) ----------------------------------
 
   std::uint64_t counter(cid id) const noexcept {
@@ -476,6 +533,11 @@ class registry {
           std::memory_order_relaxed);
     }
     return total;
+  }
+
+  std::uint64_t gauge(gid id) const noexcept {
+    return gauges_[static_cast<std::size_t>(id)].load(
+        std::memory_order_relaxed);
   }
 
   hist_snapshot histogram(hid id) const {
@@ -503,6 +565,11 @@ class registry {
     for (std::size_t i = 0; i < static_cast<std::size_t>(hid::kCount); ++i) {
       snap.histograms.push_back(histogram(static_cast<hid>(i)));
     }
+    snap.gauges.reserve(static_cast<std::size_t>(gid::kCount));
+    for (std::size_t i = 0; i < static_cast<std::size_t>(gid::kCount); ++i) {
+      const gid id = static_cast<gid>(i);
+      snap.gauges.push_back(gauge_snapshot{gauge_name(id), gauge(id)});
+    }
     return snap;
   }
 
@@ -526,6 +593,7 @@ class registry {
       for (auto& c : s.counters) c.store(0, std::memory_order_relaxed);
       for (auto& h : s.hists) h.reset();
     }
+    for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
     rings_.reset();
   }
 
@@ -555,6 +623,9 @@ class registry {
   }
 
   shard shards_[kShards];
+  // High-watermark gauges: unsharded, CAS-max only (see gauge_max).
+  std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(gid::kCount)>
+      gauges_{};
   // Event-trace rings, leased per thread (see ring_pool; this registry is
   // the singleton owner of the trace_ring instantiation).
   mutable ring_pool<trace_ring> rings_;
@@ -613,6 +684,10 @@ class instance_counters {
 #define LFST_M_TRACE(id_, payload_) \
   (::lfst::metrics::registry::instance().trace(id_, (payload_)))
 
+/// Raise a high-watermark gauge (CAS-max; no-op if already higher).
+#define LFST_M_GAUGE_MAX(id_, v_) \
+  (::lfst::metrics::registry::instance().gauge_max(id_, (v_)))
+
 /// Local tally for per-operation histograms: declare, bump inside retry
 /// loops, record once per operation with LFST_M_HIST.  The variable does not
 /// exist at all in non-metrics builds.
@@ -625,6 +700,7 @@ class instance_counters {
 #define LFST_M_ADD(id_, n_) ((void)0)
 #define LFST_M_HIST(id_, v_) ((void)0)
 #define LFST_M_TRACE(id_, payload_) ((void)0)
+#define LFST_M_GAUGE_MAX(id_, v_) ((void)0)
 #define LFST_M_TALLY(var_) ((void)0)
 #define LFST_M_TALLY_INC(var_) ((void)0)
 

@@ -79,6 +79,15 @@ inline std::string to_table(const metrics_snapshot& snap) {
        << h.approx_percentile(0.99) << "\n";
   }
   if (!any) os << "  (all empty)\n";
+  os << "-- gauges --\n";
+  any = false;
+  for (const gauge_snapshot& g : snap.gauges) {
+    if (g.value == 0) continue;
+    any = true;
+    os << "  " << std::left << std::setw(32) << g.name << " " << g.value
+       << "\n";
+  }
+  if (!any) os << "  (all zero)\n";
   return os.str();
 }
 
@@ -107,6 +116,10 @@ inline std::string to_json_lines(
       os << "\"" << b << "\":" << n;
     }
     os << "}}\n";
+  }
+  for (const gauge_snapshot& g : snap.gauges) {
+    os << "{\"type\":\"gauge\",\"name\":\"" << json_escape(g.name)
+       << "\",\"value\":" << g.value << "}\n";
   }
   for (const trace_record& e : events) {
     os << "{\"type\":\"event\",\"name\":\"" << json_escape(event_name(e.id))

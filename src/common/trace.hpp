@@ -65,6 +65,7 @@ enum class sid : std::uint16_t {
   pool_refill,
   ebr_advance,
   health_probe,
+  reclaim_tick,
   kCount
 };
 
@@ -84,6 +85,7 @@ inline constexpr std::string_view kSpanNames[] = {
     "pool.refill",
     "ebr.advance",
     "skiptree.health_probe",
+    "reclaim.watchdog_tick",
 };
 static_assert(sizeof(kSpanNames) / sizeof(kSpanNames[0]) ==
               static_cast<std::size_t>(sid::kCount));

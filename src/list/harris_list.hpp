@@ -78,7 +78,8 @@ struct list_node {
   }
   template <typename Alloc = lfst::alloc::new_delete_policy>
   reclaim::retired_block as_retired() noexcept {
-    return reclaim::retired_block{this, &list_node::destroy_erased<Alloc>};
+    return reclaim::retired_block{this, &list_node::destroy_erased<Alloc>,
+                                  sizeof(list_node)};
   }
 };
 
@@ -125,8 +126,12 @@ class harris_list {
   bool contains(const T& v) const {
     LFST_T_SPAN(::lfst::trace::sid::harris_contains);
     guard_t g(domain_);
+  restart:
     node* curr = node::ptr(head_.load(std::memory_order_acquire));
     while (curr != nullptr) {
+      // Eviction safe point: a flagged reader re-walks from the head under
+      // a fresh pin (every pointer in hand is stale after an eviction).
+      if (g.check()) goto restart;
       const std::uintptr_t w = curr->next.load(std::memory_order_acquire);
       if (!node::marked(w)) {
         if (!cmp_(curr->key, v)) return equal(curr->key, v);
@@ -141,7 +146,7 @@ class harris_list {
     guard_t g(domain_);
     backoff bo;
     for (;;) {
-      position pos = find(v);
+      position pos = find(v, g);
       if (pos.found) return false;
       node* fresh = node::template create<Alloc>(v);
       fresh->next.store(node::pack(pos.curr, false),
@@ -165,7 +170,7 @@ class harris_list {
     guard_t g(domain_);
     backoff bo;
     for (;;) {
-      position pos = find(v);
+      position pos = find(v, g);
       if (!pos.found) return false;
       node* victim = pos.curr;
       std::uintptr_t w = victim->next.load(std::memory_order_acquire);
@@ -189,7 +194,7 @@ class harris_list {
         LFST_M_COUNT(::lfst::metrics::cid::harris_physical_removals);
         Reclaim::retire(domain_, victim->template as_retired<Alloc>());
       } else {
-        find(v);  // help: snips the marked node, retires it there
+        find(v, g);  // help: snips the marked node, retires it there
       }
       return true;
     }
@@ -239,11 +244,12 @@ class harris_list {
 
   /// Michael's find: returns the window (prev_link, curr) bracketing v,
   /// physically unlinking (and retiring) every marked node encountered.
-  position find(const T& v) {
+  position find(const T& v, guard_t& g) {
   retry:
     std::atomic<std::uintptr_t>* prev_link = &head_;
     node* curr = node::ptr(prev_link->load(std::memory_order_acquire));
     for (;;) {
+      if (g.check()) goto retry;  // evicted: the window in hand is stale
       if (curr == nullptr) return position{prev_link, nullptr, false};
       std::uintptr_t w = curr->next.load(std::memory_order_acquire);
       while (node::marked(w)) {

@@ -134,6 +134,7 @@ class hp_domain {
   void scan_now() { scan(my_slot()); }
 
   std::size_t my_retired_size() { return my_slot().retired.size(); }
+  std::size_t my_retired_bytes() { return my_slot().retired.bytes(); }
 
  private:
   static constexpr std::size_t kScanSlack = 64;
@@ -149,17 +150,17 @@ class hp_domain {
         if (h != nullptr) protected_ptrs.insert(h);
       }
     }
-    // Free what is not protected, keep the rest.
-    std::vector<retired_block> keep;
-    keep.reserve(s.retired.size());
-    for (const retired_block& b : s.retired.blocks()) {
+    // Free what is not protected, keep the rest.  Going through take()/push
+    // (rather than splicing the vector) keeps the list's byte accounting
+    // exact for my_retired_bytes() and the limbo gauges.
+    const std::vector<retired_block> pending = s.retired.take();
+    for (const retired_block& b : pending) {
       if (protected_ptrs.count(b.ptr) != 0) {
-        keep.push_back(b);
+        s.retired.push(b);
       } else {
         b.reclaim();
       }
     }
-    s.retired.blocks() = std::move(keep);
   }
 
   std::size_t active_threads() const {

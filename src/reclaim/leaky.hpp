@@ -43,6 +43,10 @@ class leaky_domain {
     explicit guard(leaky_domain&) noexcept {}
     guard(const guard&) = delete;
     guard& operator=(const guard&) = delete;
+
+    /// Eviction safe point: nothing ever asks a leaky reader to move, so
+    /// the restart branch in callers folds away.
+    bool check() noexcept { return false; }
   };
 
   template <typename T>

@@ -89,9 +89,13 @@ class skip_list {
   bool contains(const T& v) const {
     LFST_T_SPAN(::lfst::trace::sid::skiplist_contains);
     guard_t g(domain_);
+  restart:
     const node* pred = head_;
     const node* curr = nullptr;
     for (int lvl = opts_.max_level; lvl >= 0; --lvl) {
+      // Eviction safe point, once per level: a flagged reader restarts the
+      // descent from the head with a fresh pin.
+      if (g.check()) goto restart;
       curr = node::ptr(pred->next(lvl)->load(std::memory_order_acquire));
       for (;;) {
         if (curr == nullptr) break;
@@ -123,7 +127,7 @@ class skip_list {
     node* succs[kMaxLevelLimit + 1];
     backoff bo;
     for (;;) {
-      if (find(v, preds, succs)) return false;
+      if (find(v, preds, succs, g)) return false;
       node* fresh = node::create(v, top);
       for (int lvl = 0; lvl <= top; ++lvl) {
         fresh->next(lvl)->store(node::pack(succs[lvl], false),
@@ -141,7 +145,7 @@ class skip_list {
         continue;
       }
       size_.fetch_add(1, std::memory_order_relaxed);
-      link_upper_levels(v, fresh, top, preds, succs);
+      link_upper_levels(v, fresh, top, preds, succs, g);
       return true;
     }
   }
@@ -151,7 +155,7 @@ class skip_list {
     guard_t g(domain_);
     node* preds[kMaxLevelLimit + 1];
     node* succs[kMaxLevelLimit + 1];
-    if (!find(v, preds, succs)) return false;
+    if (!find(v, preds, succs, g)) return false;
     node* victim = succs[0];
     // Mark the tower top-down so no level can be re-linked after its
     // superior is dead.
@@ -171,7 +175,7 @@ class skip_list {
               w, node::mark(w), std::memory_order_acq_rel,
               std::memory_order_acquire)) {
         size_.fetch_sub(1, std::memory_order_relaxed);
-        find(v, preds, succs);  // physically unlink every level
+        find(v, preds, succs, g);  // physically unlink every level
         Reclaim::retire(domain_, victim->as_retired());
         return true;
       }
@@ -234,7 +238,7 @@ class skip_list {
   /// Smallest member >= v; wait-free (same descent as contains).
   bool lower_bound(const T& v, T& out) const {
     guard_t g(domain_);
-    const node* n = locate(v);
+    const node* n = locate(v, g);
     if (n == nullptr) return false;
     out = n->key;
     return true;
@@ -255,7 +259,7 @@ class skip_list {
   template <typename Fn>
   bool for_range(const T& lo, const T& hi, Fn&& fn) const {
     guard_t g(domain_);
-    const node* curr = locate(lo);
+    const node* curr = locate(lo, g);
     while (curr != nullptr) {
       const std::uintptr_t w = curr->next(0)->load(std::memory_order_acquire);
       if (!node::marked(w)) {
@@ -316,7 +320,7 @@ class skip_list {
     }
 
     reclaim::retired_block as_retired() noexcept {
-      return reclaim::retired_block{this, &node::destroy_erased};
+      return reclaim::retired_block{this, &node::destroy_erased, footprint(top)};
     }
 
     // Marked-pointer packing.
@@ -369,11 +373,14 @@ class skip_list {
   }
 
   /// Wait-free descent to the first unmarked node with key >= v (null if
-  /// none): the shared core of lower_bound / for_range.
-  const node* locate(const T& v) const {
+  /// none): the shared core of lower_bound / for_range.  `g` is the
+  /// caller's guard; an eviction restarts the descent from the head.
+  const node* locate(const T& v, guard_t& g) const {
+  restart:
     const node* pred = head_;
     const node* curr = nullptr;
     for (int lvl = opts_.max_level; lvl >= 0; --lvl) {
+      if (g.check()) goto restart;
       curr = node::ptr(pred->next(lvl)->load(std::memory_order_acquire));
       for (;;) {
         if (curr == nullptr) break;
@@ -408,10 +415,11 @@ class skip_list {
   /// succs[l] bracket `v` at every level with unmarked nodes, and every
   /// marked node encountered at the search position has been snipped.
   /// Returns true iff succs[0] holds `v`.
-  bool find(const T& v, node** preds, node** succs) {
+  bool find(const T& v, node** preds, node** succs, guard_t& g) {
   retry:
     node* pred = head_;
     for (int lvl = opts_.max_level; lvl >= 0; --lvl) {
+      if (g.check()) goto retry;  // evicted: preds/succs gathered are stale
       node* curr = node::ptr(pred->next(lvl)->load(std::memory_order_acquire));
       for (;;) {
         if (curr == nullptr) break;
@@ -448,7 +456,7 @@ class skip_list {
   /// pointer must be re-aimed first (skipping this is the classic textbook
   /// bug), and linking stops if the node got marked meanwhile.
   void link_upper_levels(const T& v, node* fresh, int top, node** preds,
-                         node** succs) {
+                         node** succs, guard_t& g) {
     for (int lvl = 1; lvl <= top; ++lvl) {
       for (;;) {
         std::uintptr_t cur = fresh->next(lvl)->load(std::memory_order_acquire);
@@ -467,7 +475,7 @@ class skip_list {
                 std::memory_order_acquire)) {
           break;
         }
-        if (find(v, preds, succs)) {
+        if (find(v, preds, succs, g)) {
           if (succs[0] != fresh) return;  // a different copy of v owns the slot
         } else {
           return;  // fresh was removed and unlinked

@@ -145,7 +145,8 @@ struct contents {
 
   template <typename Alloc = lfst::alloc::new_delete_policy>
   reclaim::retired_block as_retired() noexcept {
-    return reclaim::retired_block{this, &contents::destroy_erased<Alloc>};
+    return reclaim::retired_block{this, &contents::destroy_erased<Alloc>,
+                                  byte_size()};
   }
 
   // --- factories -----------------------------------------------------------

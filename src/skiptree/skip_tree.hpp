@@ -88,7 +88,7 @@ class skip_tree {
   bool contains(const T& v) const {
     LFST_T_SPAN(::lfst::trace::sid::skiptree_contains);
     guard_t g(core_.domain);
-    return detail::traverse_ops<core_t>::contains(core_, v);
+    return detail::traverse_ops<core_t>::contains(core_, v, g);
   }
 
   /// Lock-free insertion.  Returns false iff `v` was already present.
@@ -188,13 +188,13 @@ class skip_tree {
   /// traversal as contains().  Returns false if every member is < v.
   bool lower_bound(const T& v, T& out) const {
     guard_t g(core_.domain);
-    return detail::traverse_ops<core_t>::lower_bound(core_, v, out);
+    return detail::traverse_ops<core_t>::lower_bound(core_, v, out, g);
   }
 
   /// Wait-free: copy out the stored element order-equivalent to `probe`.
   bool get(const T& probe, T& out) const {
     guard_t g(core_.domain);
-    return detail::traverse_ops<core_t>::get(core_, probe, out);
+    return detail::traverse_ops<core_t>::get(core_, probe, out, g);
   }
 
   /// Lock-free: overwrite the stored element order-equivalent to `v` with
@@ -243,21 +243,35 @@ class skip_tree {
     std::uint64_t migrations = 0;
     std::uint64_t alloc_failures = 0;      ///< bad_alloc seen by a mutation
     std::uint64_t compactions_skipped = 0; ///< repairs abandoned under OOM
+    // Reclamation footprint of the tree's domain (shared across structures
+    // on the same domain; zero under reclamation policies whose domains do
+    // not track limbo, e.g. leaky).
+    std::uint64_t limbo_blocks = 0;     ///< blocks awaiting their grace period
+    std::uint64_t limbo_bytes = 0;      ///< exact bytes awaiting reclamation
+    std::uint64_t limbo_bytes_hwm = 0;  ///< peak of limbo_bytes over the run
   };
 
   structural_stats stats() const noexcept {
     const auto c = core_.counters.snapshot();
     static_assert(c.size() == 9,
                   "structural_stats must mirror tree_counter exactly");
-    return {c[static_cast<std::size_t>(tree_counter::cas_failures)],
-            c[static_cast<std::size_t>(tree_counter::splits)],
-            c[static_cast<std::size_t>(tree_counter::root_raises)],
-            c[static_cast<std::size_t>(tree_counter::empty_bypasses)],
-            c[static_cast<std::size_t>(tree_counter::ref_repairs)],
-            c[static_cast<std::size_t>(tree_counter::duplicate_drops)],
-            c[static_cast<std::size_t>(tree_counter::migrations)],
-            c[static_cast<std::size_t>(tree_counter::alloc_failures)],
-            c[static_cast<std::size_t>(tree_counter::compactions_skipped)]};
+    structural_stats out{
+        c[static_cast<std::size_t>(tree_counter::cas_failures)],
+        c[static_cast<std::size_t>(tree_counter::splits)],
+        c[static_cast<std::size_t>(tree_counter::root_raises)],
+        c[static_cast<std::size_t>(tree_counter::empty_bypasses)],
+        c[static_cast<std::size_t>(tree_counter::ref_repairs)],
+        c[static_cast<std::size_t>(tree_counter::duplicate_drops)],
+        c[static_cast<std::size_t>(tree_counter::migrations)],
+        c[static_cast<std::size_t>(tree_counter::alloc_failures)],
+        c[static_cast<std::size_t>(tree_counter::compactions_skipped)]};
+    if constexpr (requires { core_.domain.stats(); }) {
+      const auto d = core_.domain.stats();
+      out.limbo_blocks = d.limbo_blocks;
+      out.limbo_bytes = d.limbo_bytes;
+      out.limbo_bytes_hwm = d.limbo_bytes_hwm;
+    }
+    return out;
   }
 
  private:

@@ -1,0 +1,393 @@
+// Chaos schedules for stall-tolerant reclamation (DESIGN.md Sec. 9).
+//
+// The headline schedule is the one classic EBR cannot survive: one reader
+// pinned forever while healthy threads churn removals.  With the bounded
+// limbo cap and a reclaim_watchdog the in-limbo footprint must stay under
+// the cap (measured and asserted on the exact byte high-watermark) while
+// every healthy thread completes and the structure validates; the contrast
+// run -- same churn, no subsystem -- demonstrates the unbounded growth the
+// cap exists to prevent (numbers quoted in EXPERIMENTS.md).
+//
+// Also here: a reader "killed" mid-guard (parks, then exits without ever
+// resuming its traversal), degraded-mode frees routed through the hazard
+// domain, and hazard-pointer parity -- the existing chaos fault families
+// run against the hazard-backed Harris list, whose oracle is identical.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.hpp"
+#include "common/rng.hpp"
+#include "list/harris_list.hpp"
+#include "reclaim/watchdog.hpp"
+#include "skiptree/skip_tree.hpp"
+#include "skiptree/validate.hpp"
+
+namespace lfst::skiptree {
+namespace {
+
+using failpoint::action;
+using failpoint::policy;
+using failpoint::registry;
+
+constexpr int kThreads = 4;
+constexpr int kKeyRange = 4096;
+constexpr std::size_t kCap = 64 * 1024;  // bounded-limbo cap for the runs
+
+/// Delay-family failpoints: widen the read-to-CAS windows so the churn
+/// exercises real interleavings, same sites as test_chaos_skiptree.
+void arm_delays() {
+  registry::instance().reset_all();
+  for (const char* site :
+       {"skiptree.insert.publish", "skiptree.split.publish",
+        "skiptree.root.raise", "skiptree.compact.8a", "skiptree.compact.8b",
+        "skiptree.compact.8c", "skiptree.compact.8d",
+        "skiptree.traverse.step", "ebr.pin", "ebr.retire", "ebr.advance"}) {
+    registry::instance().configure(
+        site,
+        policy{.act = action::yield, .probability = 0.05, .delay_iters = 4});
+  }
+}
+
+/// A reader that takes a guard, optionally reads the tree a little, then
+/// parks forever -- the stalled-reader injection.  `release()` lets the
+/// thread exit cleanly (it never resumes the traversal: the mid-guard-kill
+/// shape), after which its slot teardown must clear any quarantine.
+class pinned_reader {
+ public:
+  pinned_reader(reclaim::ebr_domain& d, const skip_tree<int>* peek)
+      : domain_(d) {
+    thread_ = std::thread([this, peek] {
+      reclaim::ebr_domain::guard g(domain_);
+      if (peek != nullptr) {
+        // Touch the structure under the pin so the stall is a *mid-read*
+        // stall, not an idle pin.
+        for (int k = 0; k < 64; ++k) (void)peek->contains(k);
+      }
+      pinned_.store(true, std::memory_order_release);
+      while (!release_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      // Exits without another structure access: pointers it might have
+      // held are dead with it.
+    });
+    while (!pinned_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  ~pinned_reader() { release(); }
+  void release() {
+    release_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  reclaim::ebr_domain& domain_;
+  std::atomic<bool> pinned_{false};
+  std::atomic<bool> release_{false};
+  std::thread thread_;
+};
+
+struct churn_outcome {
+  reclaim::domain_stats stats;
+  std::size_t expected_keys = 0;
+  bool validated = false;
+  std::size_t ops = 0;
+};
+
+/// Owner-partitioned add/remove/contains churn against a tree whose domain
+/// has one reader pinned for the entire run.  Remove-heavy on purpose: the
+/// point is to generate garbage nobody can collect classically.
+churn_outcome churn_with_pinned_reader(reclaim::ebr_domain& domain,
+                                       bool with_watchdog, std::size_t cap,
+                                       std::atomic<bool>* stop_when,
+                                       int iters) {
+  domain.set_limits(reclaim::reclaim_limits{cap});
+  skip_tree<int> tree(skip_tree_options{}, domain);
+  for (int k = 0; k < kKeyRange; ++k) tree.add(k);
+  arm_delays();
+
+  // Stall/grace spans picked so the epoch stays pinned long enough for the
+  // churn to fill the limbo cap (forcing overflow deferrals) before the
+  // quarantine unblocks it.
+  reclaim::watchdog_options wopts;
+  wopts.interval = std::chrono::milliseconds(1);
+  wopts.stall_age = std::chrono::milliseconds(50);
+  wopts.eviction_grace = std::chrono::milliseconds(50);
+  reclaim::reclaim_watchdog dog(domain, wopts);
+
+  pinned_reader reader(domain, &tree);
+  if (with_watchdog) dog.start();
+
+  std::vector<std::set<int>> mirrors(kThreads);
+  for (int k = 0; k < kKeyRange; ++k) {
+    mirrors[static_cast<std::size_t>(k % kThreads)].insert(k);
+  }
+  std::atomic<std::size_t> ops{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      xoshiro256ss rng{thread_seed(0x57a11u, static_cast<std::uint64_t>(t))};
+      std::set<int>& mine = mirrors[static_cast<std::size_t>(t)];
+      int i = 0;
+      while (i < iters ||
+             (stop_when != nullptr &&
+              !stop_when->load(std::memory_order_acquire))) {
+        ++i;
+        const int key =
+            t + kThreads * static_cast<int>(rng.next() % (kKeyRange / kThreads));
+        const std::uint64_t dice = rng.next() % 100;
+        if (dice < 60) {
+          if (tree.remove(key)) {
+            ASSERT_EQ(mine.erase(key), 1u);
+          } else {
+            ASSERT_EQ(mine.count(key), 0u);
+          }
+        } else if (dice < 85) {
+          if (tree.add(key)) {
+            ASSERT_TRUE(mine.insert(key).second);
+          } else {
+            ASSERT_EQ(mine.count(key), 1u);
+          }
+        } else {
+          ASSERT_EQ(tree.contains(key), mine.count(key) == 1);
+        }
+      }
+      ops.fetch_add(static_cast<std::size_t>(i), std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+  dog.stop();
+  registry::instance().reset_all();
+
+  churn_outcome out;
+  out.stats = domain.stats();  // sampled BEFORE the reader unparks
+  out.ops = ops.load();
+
+  // Healthy threads completed; now the full oracle.
+  std::set<int> expected;
+  for (const auto& m : mirrors) expected.insert(m.begin(), m.end());
+  out.expected_keys = expected.size();
+  skip_tree_inspector<int> inspector(tree);
+  const validation_report rep = inspector.validate();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+  EXPECT_EQ(tree.count_keys(), expected.size());
+  for (int key : expected) {
+    EXPECT_TRUE(tree.contains(key)) << "surviving key lost: " << key;
+  }
+  out.validated = rep.ok;
+
+  reader.release();
+  if (with_watchdog) {
+    // Quarantine evidence comes from the watchdog's own report series.
+    bool saw_stall = false;
+    bool saw_quarantine = false;
+    for (const reclaim::watchdog_sample& s : dog.samples()) {
+      saw_stall |= s.report.stalled > 0;
+      saw_quarantine |= s.report.quarantined_now > 0;
+    }
+    EXPECT_TRUE(saw_stall) << "watchdog never detected the pinned reader";
+    EXPECT_TRUE(saw_quarantine) << "watchdog never quarantined it";
+    // Post-quarantine reclamation kept pace: the combined footprint at the
+    // end of the churn is bounded, not proportional to the op count.
+    EXPECT_LT(out.stats.limbo_bytes + out.stats.overflow_bytes, 16 * kCap)
+        << "reclamation did not progress past the quarantined reader";
+    EXPECT_GT(out.stats.overflow_bytes_hwm, 0u)
+        << "the cap never forced a deferral (stuck window too short?)";
+  }
+  EXPECT_EQ(domain.quarantined(), 0u)
+      << "reader exit must clear quarantine state";
+  return out;
+}
+
+// The acceptance schedule: one reader pinned forever + sustained remove
+// churn.  The limbo-bytes high-watermark must stay under the cap -- exactly,
+// not approximately (retire() reserves bytes by CAS before stashing) --
+// while every healthy thread completes and validates.
+TEST(ChaosReclaim, PinnedReaderLimboStaysUnderCap) {
+  reclaim::ebr_domain domain;
+  // Run until the watchdog has had ample time to walk the whole ladder.
+  std::atomic<bool> stop{false};
+  std::thread timer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    stop.store(true, std::memory_order_release);
+  });
+  const churn_outcome out =
+      churn_with_pinned_reader(domain, /*with_watchdog=*/true, kCap, &stop,
+                               /*iters=*/2000);
+  timer.join();
+  EXPECT_LE(out.stats.limbo_bytes_hwm, kCap)
+      << "bounded-limbo guarantee violated";
+  EXPECT_TRUE(out.validated);
+  std::printf(
+      "--- bounded: %zu ops, limbo hwm %zu B (cap %zu B), overflow hwm %zu B "
+      "---\n",
+      out.ops, out.stats.limbo_bytes_hwm, kCap, out.stats.overflow_bytes_hwm);
+}
+
+// Contrast run for EXPERIMENTS.md: same churn, no cap, no watchdog.  The
+// pinned reader blocks every epoch advance, so limbo grows with the op
+// count -- far past where the capped run was held.
+TEST(ChaosReclaim, PinnedReaderUnboundedContrastGrowsPastCap) {
+  reclaim::ebr_domain domain;
+  const churn_outcome out = churn_with_pinned_reader(
+      domain, /*with_watchdog=*/false, /*cap=*/0, nullptr, /*iters=*/4000);
+  EXPECT_GT(out.stats.limbo_bytes_hwm, kCap)
+      << "contrast run failed to demonstrate unbounded growth";
+  EXPECT_TRUE(out.validated);
+  std::printf("--- unbounded: %zu ops, limbo hwm %zu B (%.1fx the cap) ---\n",
+              out.ops, out.stats.limbo_bytes_hwm,
+              static_cast<double>(out.stats.limbo_bytes_hwm) /
+                  static_cast<double>(kCap));
+}
+
+// Degraded mode, deterministically: quarantine a parked reader by driving
+// the stall ladder by hand, then park counting blocks on the overflow list
+// from a fresh thread (clean advance clock, so only our ticks drain).
+// While any slot is quarantined, every expired overflow block must route
+// through the (local) hazard domain rather than being freed blind.
+TEST(ChaosReclaim, DegradedModeFreesThroughHazardDomain) {
+  reclaim::hp_domain escape;
+  reclaim::ebr_domain domain;
+  domain.set_escape_domain(&escape);
+  domain.set_limits(reclaim::reclaim_limits{64});  // tiny: everything defers
+
+  pinned_reader reader(domain, nullptr);
+  auto tick = [&](std::uint64_t now) {
+    reclaim::stall_params p;
+    p.now_tsc = now;
+    p.min_epoch_lag = 1;
+    return domain.stall_tick(p);
+  };
+  std::uint64_t now = 0;
+  tick(now += 100);  // observe (+ the one advance that makes the lag)
+  tick(now += 100);  // flag
+  const reclaim::stall_report q = tick(now += 100);
+  ASSERT_EQ(q.quarantined, 1u);
+
+  // 32 blocks of 128 "bytes" against a 64-byte cap: all defer to overflow.
+  // A fresh thread keeps its slot's advance clock at zero, so no internal
+  // drain races the ticks below.
+  std::atomic<int> freed{0};
+  std::thread([&] {
+    reclaim::ebr_domain::guard g(domain);
+    for (int i = 0; i < 32; ++i) {
+      domain.retire(reclaim::retired_block{
+          &freed,
+          [](void* p) {
+            static_cast<std::atomic<int>*>(p)->fetch_add(
+                1, std::memory_order_relaxed);
+          },
+          128});
+    }
+  }).join();
+  ASSERT_EQ(domain.stats().overflow_blocks, 32u);
+
+  std::size_t escaped = 0;
+  for (int i = 0; i < 6 && freed.load() != 32; ++i) {
+    escaped += tick(now += 100).overflow_escaped;
+  }
+  EXPECT_EQ(freed.load(), 32) << "overflow blocks never reclaimed";
+  EXPECT_EQ(escaped, 32u)
+      << "degraded-mode frees bypassed the hazard escape hatch";
+
+  reader.release();
+  EXPECT_EQ(domain.quarantined(), 0u);
+  const reclaim::flush_result fr = domain.try_flush();
+  EXPECT_TRUE(fr.clean());
+}
+
+// Hazard-pointer parity: the chaos fault families of test_chaos_skiptree
+// (OOM on every allocation site, alloc-path delays, both) against the
+// hazard-backed Harris list, with the same owner-partitioned mirror oracle.
+void run_hazard_list_schedule(bool oom, bool delay) {
+  registry::instance().reset_all();
+  if (oom) {
+    for (const char* site :
+         {"alloc.pool.allocate", "alloc.pool.refill", "alloc.new_delete"}) {
+      registry::instance().configure(
+          site, policy{.act = action::fail, .probability = 0.02});
+    }
+  }
+  if (delay) {
+    for (const char* site :
+         {"alloc.pool.allocate", "alloc.new_delete"}) {
+      registry::instance().configure(
+          site,
+          policy{.act = action::yield, .probability = 0.05, .delay_iters = 4});
+    }
+  }
+  reclaim::hp_domain domain;
+  list::harris_list_hp<int> lst(domain);
+  std::vector<std::set<int>> mirrors(kThreads);
+  std::atomic<std::uint64_t> thrown{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      xoshiro256ss rng{thread_seed(0x4a21u, static_cast<std::uint64_t>(t))};
+      std::set<int>& mine = mirrors[static_cast<std::size_t>(t)];
+      for (int i = 0; i < 3000; ++i) {
+        const int key =
+            t + kThreads * static_cast<int>(rng.next() % (1024 / kThreads));
+        const std::uint64_t dice = rng.next() % 100;
+        try {
+          if (dice < 50) {
+            if (lst.add(key)) {
+              ASSERT_TRUE(mine.insert(key).second);
+            } else {
+              ASSERT_EQ(mine.count(key), 1u);
+            }
+          } else if (dice < 80) {
+            if (lst.remove(key)) {
+              ASSERT_EQ(mine.erase(key), 1u);
+            } else {
+              ASSERT_EQ(mine.count(key), 0u);
+            }
+          } else {
+            ASSERT_EQ(lst.contains(key), mine.count(key) == 1);
+          }
+        } catch (const std::bad_alloc&) {
+          thrown.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  registry::instance().reset_all();
+
+  std::set<int> expected;
+  for (const auto& m : mirrors) expected.insert(m.begin(), m.end());
+  EXPECT_EQ(lst.size(), expected.size());
+  for (int key : expected) {
+    ASSERT_TRUE(lst.contains(key)) << "surviving key lost: " << key;
+  }
+  for (int key = 0; key < 1024; ++key) {
+    if (expected.count(key) == 0) {
+      ASSERT_FALSE(lst.contains(key)) << "ghost key present: " << key;
+    }
+  }
+  if (oom) {
+    EXPECT_GT(thrown.load(), 0u) << "OOM schedule injected nothing";
+  }
+  domain.scan_now();
+}
+
+TEST(ChaosReclaim, HazardListOomSchedule) {
+  run_hazard_list_schedule(true, false);
+}
+
+TEST(ChaosReclaim, HazardListDelaySchedule) {
+  run_hazard_list_schedule(false, true);
+}
+
+TEST(ChaosReclaim, HazardListCombinedSchedule) {
+  run_hazard_list_schedule(true, true);
+}
+
+}  // namespace
+}  // namespace lfst::skiptree

@@ -266,7 +266,9 @@ void run_schedule(const schedule& sched) {
       "--- post-degradation probe '%s': %zu nodes, %zu empty, "
       "%zu suboptimal ---\n",
       sched.name, post.sampled_nodes, post.empty_nodes, post.suboptimal_refs);
-  domain.flush();
+  const reclaim::flush_result fr = domain.flush();
+  EXPECT_TRUE(fr.clean()) << "chaos run left " << fr.skipped_slots
+                          << " slot(s) pinned at quiescent flush";
 }
 
 TEST(ChaosSkipTree, OomSchedule) {
@@ -338,7 +340,9 @@ TEST(ChaosSkipTree, RemoveSucceedsWhenCompactionAllocationFails) {
   const validation_report rep = inspector.validate();
   EXPECT_TRUE(rep.ok) << rep.to_string();
   EXPECT_EQ(tree.count_keys(), tree.size());
-  domain.flush();
+  const reclaim::flush_result fr = domain.flush();
+  EXPECT_TRUE(fr.clean()) << "chaos run left " << fr.skipped_slots
+                          << " slot(s) pinned at quiescent flush";
 }
 
 }  // namespace

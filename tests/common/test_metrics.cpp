@@ -445,8 +445,12 @@ TEST(Export, EveryJsonLineSurvivesAStrictParser) {
   constexpr auto kCounters = static_cast<std::size_t>(cid::kCount);
   constexpr auto kHists = static_cast<std::size_t>(hid::kCount);
   constexpr auto kEvents = static_cast<std::size_t>(eid::kCount);
+  constexpr auto kGauges = static_cast<std::size_t>(gid::kCount);
   for (std::size_t i = 0; i < kCounters; ++i) {
     reg.add(static_cast<cid>(i), i + 1);
+  }
+  for (std::size_t i = 0; i < kGauges; ++i) {
+    reg.gauge_max(static_cast<gid>(i), i + 1);
   }
   for (std::size_t i = 0; i < kHists; ++i) {
     reg.record(static_cast<hid>(i), 1);
@@ -466,9 +470,9 @@ TEST(Export, EveryJsonLineSurvivesAStrictParser) {
     EXPECT_TRUE(json8259::parses(line))
         << "line " << lines << " is not valid JSON: " << line;
   }
-  // One line per counter, histogram and event -- nothing elided, nothing
-  // merged across newlines.
-  EXPECT_EQ(lines, kCounters + kHists + kEvents);
+  // One line per counter, histogram, gauge and event -- nothing elided,
+  // nothing merged across newlines.
+  EXPECT_EQ(lines, kCounters + kHists + kGauges + kEvents);
   reg.reset();
 }
 

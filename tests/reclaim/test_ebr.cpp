@@ -55,14 +55,19 @@ TEST(Ebr, NothingFreedWhileEpochPinnedElsewhere) {
   }
   // The reader pins an epoch <= retire epoch: a full grace period cannot
   // elapse, so at most one epoch of progress happened and nothing retired
-  // under this guard may be freed yet.
-  d.flush();
+  // under this guard may be freed yet.  flush() asserts quiescence, so this
+  // deliberately non-quiescent call goes through try_flush(), whose report
+  // must name the pinned slot.
+  const flush_result partial = d.try_flush();
+  EXPECT_GT(partial.skipped_slots, 0u) << "pinned reader not reported";
+  EXPECT_FALSE(partial.clean());
   EXPECT_GE(counted::live.load(), before + 200 - 0)
       << "objects freed while a reader was pinned";
 
   release.store(true);
   reader.join();
-  d.flush();
+  const flush_result full = d.flush();
+  EXPECT_EQ(full.skipped_slots, 0u);
   EXPECT_EQ(counted::live.load(), before);
 }
 

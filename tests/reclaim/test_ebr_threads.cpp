@@ -147,6 +147,105 @@ TEST(EbrThreads, ManyDomainsOneThread) {
   EXPECT_EQ(counted::live.load(), 0);
 }
 
+TEST(EbrThreads, SlotExhaustionIsAHardErrorNotAnOverflow) {
+  // kMaxThreads concurrent pinners saturate the slot array; one more must
+  // get std::length_error in every build mode, never an out-of-bounds
+  // write.  Parked threads hold their slots alive for the whole test.
+  ebr_domain d;
+  std::atomic<std::size_t> parked{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> holders;
+  holders.reserve(kMaxThreads);
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    holders.emplace_back([&] {
+      ebr_domain::guard g(d);
+      parked.fetch_add(1, std::memory_order_acq_rel);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  while (parked.load(std::memory_order_acquire) < kMaxThreads) {
+    std::this_thread::yield();
+  }
+  std::thread extra([&] {
+    bool threw = false;
+    try {
+      ebr_domain::guard g(d);
+    } catch (const std::length_error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw) << "257th concurrent thread must be a hard error";
+  });
+  extra.join();
+  release.store(true, std::memory_order_release);
+  for (auto& t : holders) t.join();
+  // Every slot was recycled by thread exit: a full complement of fresh
+  // threads must fit again.
+  std::atomic<std::size_t> ok{0};
+  std::vector<std::thread> again;
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    again.emplace_back([&] {
+      ebr_domain::guard g(d);
+      d.retire(new counted);
+      ok.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : again) t.join();
+  EXPECT_EQ(ok.load(), kMaxThreads);
+  d.flush();
+  EXPECT_EQ(counted::live.load(), 0);
+}
+
+TEST(EbrThreads, ChurnWavesReuseDeadSlotsWithCleanFlags) {
+  // Rapid waves of short-lived threads cross the registry capacity many
+  // times over while a watchdog-style ladder keeps flagging/quarantining a
+  // deliberately parked reader.  Successor threads inheriting recycled
+  // slots must see clean flags (a fresh pin is never born flagged or
+  // quarantined) and the quarantine count must return to zero.
+  ebr_domain d;
+  d.set_escape_domain(nullptr);
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread stalled([&] {
+    ebr_domain::guard g(d);
+    pinned.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!pinned.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  std::uint64_t now = 0;
+  for (int wave = 0; wave < 6; ++wave) {
+    std::vector<std::thread> workers;
+    for (std::size_t w = 0; w < kMaxThreads / 2; ++w) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < 20; ++i) {
+          ebr_domain::guard g(d);
+          d.retire(new counted);
+          // A freshly pinned guard must never start life evicted.
+          if (i == 0) {
+            EXPECT_FALSE(g.check());
+          }
+        }
+      });
+    }
+    // Quarantine ladder against the parked reader, concurrent with churn.
+    stall_params p;
+    p.now_tsc = (now += 1000);
+    p.min_epoch_lag = 1;
+    d.stall_tick(p);
+    for (auto& t : workers) t.join();
+  }
+  release.store(true, std::memory_order_release);
+  stalled.join();
+  EXPECT_EQ(d.quarantined(), 0u) << "thread exits must clear quarantine";
+  d.flush();
+  d.flush();
+  EXPECT_EQ(counted::live.load(), 0);
+}
+
 TEST(EbrThreads, DomainOutlivedByNothingDrainsOnDestruction) {
   {
     ebr_domain d;

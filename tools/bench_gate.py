@@ -28,7 +28,18 @@ synthetic 20% regression -- must fail), exiting nonzero if the gate logic
 misbehaves.  CI runs this deterministic check plus a lenient --normalize
 diff of the real run.
 
-Exit status: 0 clean, 1 regression (or self-test logic failure), 2 usage.
+--check-metrics validates a --metrics-json sidecar (the JSON-lines file
+benches write next to their bench JSON) instead of diffing throughput.
+--require NAME fails unless a counter/gauge has a nonzero value (for a
+histogram, a nonzero sample count) -- use it to prove an instrumented
+path actually ran, e.g. that a contended run recorded a limbo-bytes
+high-watermark.  --require-under NAME=LIMIT additionally bounds the
+value: `--require-under ebr.limbo_bytes_hwm=1048576` fails the gate if
+retired memory ever piled past 1 MiB, which is how CI keeps the
+stall-tolerant reclamation cap honest on real workloads.
+
+Exit status: 0 clean, 1 regression/check failure (or self-test logic
+failure), 2 usage.
 """
 
 import argparse
@@ -93,6 +104,72 @@ def diff(base, cand, threshold, noise_sigma, normalize, out=sys.stdout):
     return regressed
 
 
+def load_metrics(path):
+    """Parse a JSON-lines metrics sidecar into {name: record}.
+
+    Counters and gauges carry "value"; histograms carry "count"/"sum".
+    Later lines win on a name collision (a process that dumps twice
+    leaves its final snapshot last).
+    """
+    by_name = {}
+    total = 0
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            total += 1
+            if rec.get("type") in ("counter", "histogram", "gauge"):
+                by_name[rec["name"]] = rec
+    if total == 0:
+        raise SystemExit(f"bench_gate: metrics sidecar {path} is empty")
+    return by_name, total
+
+
+def metric_value(rec):
+    if rec["type"] == "histogram":
+        return rec.get("count", 0)
+    return rec.get("value", 0)
+
+
+def check_metrics(path, require, require_under, out=sys.stdout):
+    """Returns the number of failed requirements."""
+    by_name, total = load_metrics(path)
+    print(f"bench_gate: {total} sidecar records, "
+          f"{len(by_name)} named metrics in {path}", file=out)
+    failures = 0
+    for name in require:
+        rec = by_name.get(name)
+        if rec is None:
+            failures += 1
+            print(f"  MISSING  {name}: not in sidecar", file=out)
+        elif metric_value(rec) <= 0:
+            failures += 1
+            print(f"  ZERO     {name}: present but never recorded", file=out)
+        else:
+            print(f"  ok       {name} = {metric_value(rec)}", file=out)
+    for spec in require_under:
+        name, sep, limit = spec.rpartition("=")
+        if not sep:
+            raise SystemExit(
+                f"bench_gate: --require-under wants NAME=LIMIT, got {spec!r}")
+        limit = float(limit)
+        rec = by_name.get(name)
+        if rec is None:
+            failures += 1
+            print(f"  MISSING  {name}: not in sidecar", file=out)
+        elif metric_value(rec) > limit:
+            failures += 1
+            print(f"  EXCEEDED {name} = {metric_value(rec)} "
+                  f"> limit {limit:g}", file=out)
+        else:
+            print(f"  ok       {name} = {metric_value(rec)} "
+                  f"<= {limit:g}", file=out)
+    print(f"bench_gate: {failures} metric requirement(s) failed", file=out)
+    return failures
+
+
 def self_test(base, threshold, noise_sigma):
     clean = diff(base, base, threshold, noise_sigma, normalize=False)
     if clean:
@@ -116,7 +193,7 @@ def self_test(base, threshold, noise_sigma):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", required=True,
+    ap.add_argument("--baseline",
                     help="checked-in BENCH_*.json baseline")
     ap.add_argument("--candidate",
                     help="bench JSON from the run under test")
@@ -133,7 +210,27 @@ def main():
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate trips on a synthetic 20%% "
                          "regression and passes a clean self-compare")
+    ap.add_argument("--check-metrics", metavar="PATH",
+                    help="validate a --metrics-json sidecar instead of "
+                         "(or alongside) a throughput diff")
+    ap.add_argument("--require", nargs="+", default=[], metavar="NAME",
+                    help="sidecar metrics that must exist with a nonzero "
+                         "value (histograms: nonzero sample count)")
+    ap.add_argument("--require-under", nargs="+", default=[],
+                    metavar="NAME=LIMIT",
+                    help="sidecar metrics that must exist and stay at or "
+                         "below LIMIT (e.g. ebr.limbo_bytes_hwm=1048576)")
     args = ap.parse_args()
+
+    if args.check_metrics:
+        failed = check_metrics(args.check_metrics, args.require,
+                               args.require_under)
+        if failed:
+            sys.exit(1)
+        if not args.baseline:
+            sys.exit(0)
+    if not args.baseline:
+        ap.error("--baseline is required unless --check-metrics")
 
     _, base = load(args.baseline)
     if args.self_test:
