@@ -40,6 +40,7 @@
 #include "common/stats.hpp"
 #include "common/trace.hpp"
 #include "common/trace_export.hpp"
+#include "skiptree/detail/kernel.hpp"
 #include "workload/table.hpp"
 #include "workload/workload.hpp"
 
@@ -93,9 +94,9 @@ inline std::string range_name(std::uint64_t range) {
 
 inline void print_header(const char* what, const bench_config& c) {
   std::printf("== %s ==\n", what);
-  std::printf("ops/trial=%zu trials=%d (override with LFST_BENCH_OPS / "
-              "LFST_BENCH_TRIALS / LFST_BENCH_THREADS)\n\n",
-              c.ops, c.trials);
+  std::printf("ops/trial=%zu trials=%d kernel=%s (override with "
+              "LFST_BENCH_OPS / LFST_BENCH_TRIALS / LFST_BENCH_THREADS)\n\n",
+              c.ops, c.trials, skiptree::selected_kernel_name());
 }
 
 /// Scope object every bench main constructs first: consumes the
@@ -132,6 +133,15 @@ class metrics_reporter {
     if (path_.empty()) return;
     const auto& reg = metrics::registry::instance();
     if (metrics::write_json_file(path_, reg.aggregate(), reg.drain_trace())) {
+      // Append the run's search-kernel selection as a meta record: the gate
+      // only consumes counter/histogram/gauge lines, but humans diffing
+      // sidecars need to know which kernel produced the numbers.
+      if (std::FILE* f = std::fopen(path_.c_str(), "a"); f != nullptr) {
+        std::fprintf(f, "{\"type\":\"meta\",\"name\":\"kernel\",\"value\":"
+                        "\"%s\"}\n",
+                     skiptree::selected_kernel_name());
+        std::fclose(f);
+      }
       std::fprintf(stderr, "metrics sidecar written to %s\n", path_.c_str());
     } else {
       std::fprintf(stderr, "metrics sidecar: cannot write %s\n",
@@ -201,8 +211,13 @@ class bench_json_reporter {
       std::fprintf(stderr, "bench json: cannot write %s\n", path_.c_str());
       return;
     }
-    std::fprintf(f, "{\"bench\":\"%s\",\"entries\":[",
-                 metrics::json_escape(bench_).c_str());
+    // The kernel stamp pairs candidate runs with like baselines: bench_gate
+    // refuses to diff two documents whose kernels differ (a scalar run
+    // "regressing" against an avx2 baseline is a configuration error, not a
+    // performance signal).
+    std::fprintf(f, "{\"bench\":\"%s\",\"kernel\":\"%s\",\"entries\":[",
+                 metrics::json_escape(bench_).c_str(),
+                 skiptree::selected_kernel_name());
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const entry& e = entries_[i];
       const summary& s = e.stats;

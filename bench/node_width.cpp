@@ -16,6 +16,7 @@
 
 int main(int argc, char** argv) {
   lfst::bench::metrics_reporter metrics(argc, argv);
+  lfst::bench::bench_json_reporter bench_json("node_width", argc, argv);
   lfst::bench::trace_reporter traces(argc, argv);
   const auto cfg = lfst::bench::bench_config::from_env();
   lfst::bench::print_header("Structural census: node width vs q", cfg);
@@ -45,12 +46,18 @@ int main(int argc, char** argv) {
     for (std::size_t l = 1; l < rep.nodes_per_level.size(); ++l) {
       routing += rep.nodes_per_level[l];
     }
+    const double avg_width = static_cast<double>(t.size()) /
+                             static_cast<double>(leaves);
+    // Structural census, not throughput: the tracked scalar is the realized
+    // average leaf width, with the per-level shape riding along in "extra".
+    bench_json.record("node_width/q=1-" + std::to_string(1 << q_log2), 1,
+                      lfst::summary::of({avg_width}),
+                      {{"height", static_cast<double>(t.height())},
+                       {"leaf_nodes", static_cast<double>(leaves)},
+                       {"routing_nodes", static_cast<double>(routing)}});
     tab.add_row({"1/" + std::to_string(1 << q_log2),
                  std::to_string(t.height()), std::to_string(leaves),
-                 lfst::workload::table::fmt(
-                     static_cast<double>(t.size()) /
-                         static_cast<double>(leaves),
-                     1),
+                 lfst::workload::table::fmt(avg_width, 1),
                  std::to_string(routing), std::to_string(1 << q_log2)});
   }
   tab.print();

@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   lfst::bench::metrics_reporter metrics(argc, argv);
+  lfst::bench::bench_json_reporter bench_json("param_m", argc, argv);
   lfst::bench::trace_reporter traces(argc, argv);
   using lfst::bench::bench_config;
   using lfst::workload::scenario;
@@ -41,6 +42,11 @@ int main(int argc, char** argv) {
         o.min_node_size = m_param;
         return std::make_unique<lfst::blinktree::blink_tree<long>>(o);
       });
+      bench_json.record("param_m/M=" + std::to_string(m_param) + "/" +
+                            std::to_string(m.contains_pct) + "c" +
+                            std::to_string(m.add_pct) + "a" +
+                            std::to_string(m.remove_pct) + "r",
+                        threads, s);
       combined += s.mean;
       row.push_back(lfst::workload::table::fmt(s.mean, 0) + " +/- " +
                     lfst::workload::table::fmt(s.stddev, 0));

@@ -26,7 +26,6 @@
 // that.
 #pragma once
 
-#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -40,6 +39,7 @@
 #include "common/metrics.hpp"
 #include "common/spin_rw_lock.hpp"
 #include "common/trace.hpp"
+#include "skiptree/detail/kernel.hpp"
 
 namespace lfst::blinktree {
 
@@ -48,11 +48,13 @@ struct blink_tree_options {
 };
 
 template <typename T, typename Compare = std::less<T>,
-          typename Alloc = lfst::alloc::pool_policy>
+          typename Alloc = lfst::alloc::pool_policy,
+          typename Kernel = skiptree::default_search_kernel>
 class blink_tree {
  public:
   using key_type = T;
   using alloc_t = Alloc;
+  using kernel_t = Kernel;
 
   blink_tree() : blink_tree(blink_tree_options{}) {}
 
@@ -91,7 +93,7 @@ class blink_tree {
         n = next;
         continue;
       }
-      return std::binary_search(n->keys.begin(), n->keys.end(), v, cmp_);
+      return search_keys(n->keys, v) >= 0;
     }
   }
 
@@ -99,8 +101,8 @@ class blink_tree {
     LFST_T_SPAN(::lfst::trace::sid::blink_add);
     node* n = leftmost_write_locked_target(v);
     // n is write-locked and covers v.
-    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), v, cmp_);
-    if (it != n->keys.end() && equal(*it, v)) {
+    const int i = search_keys(n->keys, v);
+    if (i >= 0) {
       n->lock.unlock();
       return false;
     }
@@ -108,7 +110,9 @@ class blink_tree {
       // Within the reserved capacity this never allocates; a node grown past
       // it by deferred splits may, and vector::insert's strong guarantee
       // leaves the keys untouched on bad_alloc -- unlock and report failure.
-      n->keys.insert(it, v);
+      n->keys.insert(
+          n->keys.begin() + static_cast<std::ptrdiff_t>(insertion_point(i)),
+          v);
     } catch (...) {
       n->lock.unlock();
       throw;
@@ -125,10 +129,11 @@ class blink_tree {
   bool remove(const T& v) {
     LFST_T_SPAN(::lfst::trace::sid::blink_remove);
     node* n = leftmost_write_locked_target(v);
-    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), v, cmp_);
-    const bool found = it != n->keys.end() && equal(*it, v);
+    const int i = search_keys(n->keys, v);
+    const bool found = i >= 0;
     if (found) {
-      n->keys.erase(it);  // lazy deletion: no merging, no rebalance
+      // Lazy deletion: no merging, no rebalance.
+      n->keys.erase(n->keys.begin() + i);
       size_.fetch_sub(1, std::memory_order_relaxed);
     }
     n->lock.unlock();
@@ -190,9 +195,9 @@ class blink_tree {
         if (n->has_high && cmp_(n->high, v)) {
           next = n->link;
         } else {
-          auto it = std::lower_bound(n->keys.begin(), n->keys.end(), v, cmp_);
-          if (it != n->keys.end()) {
-            out = *it;
+          const std::size_t pos = insertion_point(search_keys(n->keys, v));
+          if (pos < n->keys.size()) {
+            out = n->keys[pos];
             return true;
           }
           next = n->link;  // ceiling lives in a later leaf (or nowhere)
@@ -271,8 +276,17 @@ class blink_tree {
     node(bool is_leaf, int lvl) : leaf(is_leaf), level(lvl) {}
   };
 
-  bool equal(const T& a, const T& b) const {
-    return !cmp_(a, b) && !cmp_(b, a);
+  /// Encoded in-node search over a node's key vector via the pluggable
+  /// kernel (skiptree/detail/kernel.hpp): >= 0 found, < 0 encodes
+  /// -(insertion point) - 1.  The same seam the skip-tree uses, so kernel
+  /// A/B comparisons hold both structures to the same node-local cost.
+  int search_keys(const std::vector<T>& keys, const T& v) const {
+    return Kernel::search(keys.data(),
+                          static_cast<std::uint32_t>(keys.size()), v, cmp_);
+  }
+
+  static std::size_t insertion_point(int i) noexcept {
+    return static_cast<std::size_t>(i < 0 ? -i - 1 : i);
   }
 
   /// Node headers come from the Alloc policy; the key/child vectors stay on
@@ -297,9 +311,7 @@ class blink_tree {
   /// equal to a separator live in its left subtree, because a separator is
   /// the high key of the left node at split time).
   std::size_t child_index(const node* n, const T& v) const {
-    return static_cast<std::size_t>(
-        std::lower_bound(n->keys.begin(), n->keys.end(), v, cmp_) -
-        n->keys.begin());
+    return insertion_point(search_keys(n->keys, v));
   }
 
   /// Read-locked descent from the root to the leaf level, moving right

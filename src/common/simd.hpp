@@ -1,0 +1,314 @@
+// SIMD capability detection and raw in-node search primitives.
+//
+// The skip-tree packs each node's keys into one contiguous block precisely
+// so that in-node search is cache-friendly; this header supplies the
+// vectorized building blocks the kernel layer (skiptree/detail/kernel.hpp)
+// composes into full search kernels:
+//
+//   * ISA detection: one cached CPUID probe (`active()`), overridable for
+//     tests and A/B benches via `set_isa_override` or the LFST_SIMD_ISA
+//     environment variable (values: scalar | sse2 | avx2).  Overrides are
+//     clamped to what the hardware actually supports, so forcing "avx2" on
+//     an SSE2-only machine degrades instead of faulting.
+//   * `count_less_{32,64}`: the number of leading elements < v in a sorted
+//     run, computed by compare-and-movemask over 128/256-bit lanes.  This IS
+//     lower_bound on the run, branch-free: with sorted input the less-than
+//     lanes form a prefix, so popcount of the movemask is the index.
+//   * `prefetch_ro`: portable read prefetch used by the descent loops.
+//
+// Everything vectorized is compiled behind LFST_SIMD (CMake option of the
+// same name) AND an x86-64 target check; the AVX2 bodies carry GCC/Clang
+// `target("avx2")` attributes so the translation unit needs no global
+// -mavx2 (the runtime probe keeps them unreachable on older machines).
+// Non-x86 or LFST_SIMD=OFF builds see only the scalar pieces.
+//
+// Ordering contract: elements are compared as UNSIGNED integers after XOR
+// with `bias`.  A caller whose keys are unsigned passes bias 0; a caller
+// whose keys are signed passes the type's sign bit (flipping the sign bit
+// maps two's-complement order onto unsigned order).  The vector bodies fold
+// one more sign-bit flip into the bias internally, because SSE2/AVX2 integer
+// compares are signed: unsigned-compare-after-bias equals
+// signed-compare-after-(bias ^ sign_bit).
+//
+// The key pointer is `const void*` and all loads go through memcpy or the
+// (may_alias) vector-load intrinsics, so callers may hand in storage of any
+// same-width integer type without strict-aliasing concerns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(LFST_SIMD) && (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define LFST_SIMD_ENABLED 1
+#include <immintrin.h>
+#else
+#define LFST_SIMD_ENABLED 0
+#endif
+
+namespace lfst::simd {
+
+/// Instruction-set tiers the kernel layer dispatches over, weakest first so
+/// overrides clamp with a simple min().
+enum class isa : int { scalar = 0, sse2 = 1, avx2 = 2 };
+
+constexpr const char* isa_name(isa i) noexcept {
+  switch (i) {
+    case isa::sse2: return "sse2";
+    case isa::avx2: return "avx2";
+    default: return "scalar";
+  }
+}
+
+/// Read prefetch into all cache levels; compiles to nothing where
+/// __builtin_prefetch is unavailable.
+inline void prefetch_ro(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 3);
+#else
+  (void)p;
+#endif
+}
+
+namespace detail {
+
+inline isa detect_hardware() noexcept {
+#if LFST_SIMD_ENABLED
+  if (__builtin_cpu_supports("avx2")) return isa::avx2;
+  // SSE2 is part of the x86-64 baseline; the probe is belt-and-braces.
+  if (__builtin_cpu_supports("sse2")) return isa::sse2;
+#endif
+  return isa::scalar;
+}
+
+inline isa parse_isa(const char* s) noexcept {
+  if (s == nullptr) return isa::avx2;  // "no limit"
+  if (std::strcmp(s, "scalar") == 0) return isa::scalar;
+  if (std::strcmp(s, "sse2") == 0) return isa::sse2;
+  return isa::avx2;
+}
+
+/// -1 = no override; otherwise the int value of an `isa`.
+inline std::atomic<int>& override_slot() noexcept {
+  static std::atomic<int> v{-1};
+  return v;
+}
+
+inline std::uint32_t load_u32(const void* p) noexcept {
+  std::uint32_t x;
+  std::memcpy(&x, p, sizeof(x));
+  return x;
+}
+
+inline std::uint64_t load_u64(const void* p) noexcept {
+  std::uint64_t x;
+  std::memcpy(&x, p, sizeof(x));
+  return x;
+}
+
+}  // namespace detail
+
+/// The hardware's best supported tier, probed once.  The LFST_SIMD_ISA
+/// environment variable caps it (benches use this to A/B kernels from one
+/// binary); `set_isa_override` caps it programmatically (tests use this to
+/// cover every tier in one process).
+inline isa active() noexcept {
+  static const isa hw = [] {
+    isa h = detail::detect_hardware();
+    const isa env = detail::parse_isa(std::getenv("LFST_SIMD_ISA"));
+    return env < h ? env : h;
+  }();
+  const int o = detail::override_slot().load(std::memory_order_relaxed);
+  if (o >= 0) {
+    const isa forced = static_cast<isa>(o);
+    return forced < hw ? forced : hw;
+  }
+  return hw;
+}
+
+/// Cap the active tier (test hook); undo with `clear_isa_override`.  Caps
+/// above the hardware's tier clamp down to it.
+inline void set_isa_override(isa i) noexcept {
+  detail::override_slot().store(static_cast<int>(i),
+                                std::memory_order_relaxed);
+}
+
+inline void clear_isa_override() noexcept {
+  detail::override_slot().store(-1, std::memory_order_relaxed);
+}
+
+// --- vector count-less-than primitives --------------------------------------
+//
+// Each returns the number of elements of the sorted n-element run at `keys`
+// that are strictly less than v under the unsigned-after-bias order (see
+// header comment).  Tails shorter than one vector fall back to a scalar
+// loop.  The vector loops scan the WHOLE run and accumulate movemask
+// popcounts with no early exit: the run is sorted, so the total less-than
+// count IS the lower_bound index, and an exit branch on the first
+// non-full mask would mispredict once per search (the exit point is data
+// dependent) -- costlier than the few extra always-predicted iterations a
+// node-sized run adds.
+
+inline std::uint32_t count_less_scalar_32(const void* keys, std::uint32_t n,
+                                          std::uint32_t v,
+                                          std::uint32_t bias) noexcept {
+  const char* p = static_cast<const char*>(keys);
+  const std::uint32_t vb = v ^ bias;
+  std::uint32_t i = 0;
+  while (i < n && (detail::load_u32(p + i * 4u) ^ bias) < vb) ++i;
+  return i;
+}
+
+inline std::uint32_t count_less_scalar_64(const void* keys, std::uint32_t n,
+                                          std::uint64_t v,
+                                          std::uint64_t bias) noexcept {
+  const char* p = static_cast<const char*>(keys);
+  const std::uint64_t vb = v ^ bias;
+  std::uint32_t i = 0;
+  while (i < n && (detail::load_u64(p + i * 8u) ^ bias) < vb) ++i;
+  return i;
+}
+
+#if LFST_SIMD_ENABLED
+
+namespace detail {
+
+constexpr std::uint32_t kSign32 = 0x80000000u;
+constexpr std::uint64_t kSign64 = 0x8000000000000000ull;
+
+/// SSE2 lacks a 64-bit signed compare; emulate a > b per 64-bit lane: the
+/// high dwords decide unless equal, in which case the sign of the 64-bit
+/// difference b - a does (high dwords equal makes that sign exact).  The
+/// shuffle broadcasts each lane's high-dword verdict over the full lane.
+inline __m128i cmpgt_epi64_sse2(__m128i a, __m128i b) noexcept {
+  __m128i r = _mm_and_si128(_mm_cmpeq_epi32(a, b), _mm_sub_epi64(b, a));
+  r = _mm_or_si128(r, _mm_cmpgt_epi32(a, b));
+  return _mm_shuffle_epi32(r, _MM_SHUFFLE(3, 3, 1, 1));
+}
+
+}  // namespace detail
+
+inline std::uint32_t count_less_sse2_32(const void* keys, std::uint32_t n,
+                                        std::uint32_t v,
+                                        std::uint32_t bias) noexcept {
+  const char* p = static_cast<const char*>(keys);
+  // Fold the signed-compare correction into the lane bias (header comment).
+  const __m128i vb =
+      _mm_set1_epi32(static_cast<int>(bias ^ detail::kSign32));
+  const __m128i vv =
+      _mm_set1_epi32(static_cast<int>(v ^ bias ^ detail::kSign32));
+  std::uint32_t i = 0;
+  std::uint32_t lane_bytes = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i kv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i * 4u));
+    kv = _mm_xor_si128(kv, vb);
+    const int mask = _mm_movemask_epi8(_mm_cmpgt_epi32(vv, kv));
+    lane_bytes += static_cast<std::uint32_t>(__builtin_popcount(mask));
+  }
+  return lane_bytes / 4 + count_less_scalar_32(p + i * 4u, n - i, v, bias);
+}
+
+inline std::uint32_t count_less_sse2_64(const void* keys, std::uint32_t n,
+                                        std::uint64_t v,
+                                        std::uint64_t bias) noexcept {
+  const char* p = static_cast<const char*>(keys);
+  const __m128i vb = _mm_set1_epi64x(
+      static_cast<long long>(bias ^ detail::kSign64));
+  const __m128i vv = _mm_set1_epi64x(
+      static_cast<long long>(v ^ bias ^ detail::kSign64));
+  std::uint32_t i = 0;
+  std::uint32_t lane_bytes = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i kv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i * 8u));
+    kv = _mm_xor_si128(kv, vb);
+    const int mask = _mm_movemask_epi8(detail::cmpgt_epi64_sse2(vv, kv));
+    lane_bytes += static_cast<std::uint32_t>(__builtin_popcount(mask));
+  }
+  return lane_bytes / 8 + count_less_scalar_64(p + i * 8u, n - i, v, bias);
+}
+
+__attribute__((target("avx2"))) inline std::uint32_t count_less_avx2_32(
+    const void* keys, std::uint32_t n, std::uint32_t v,
+    std::uint32_t bias) noexcept {
+  const char* p = static_cast<const char*>(keys);
+  const __m256i vb =
+      _mm256_set1_epi32(static_cast<int>(bias ^ detail::kSign32));
+  const __m256i vv =
+      _mm256_set1_epi32(static_cast<int>(v ^ bias ^ detail::kSign32));
+  std::uint32_t i = 0;
+  std::uint32_t lane_bytes = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i kv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i * 4u));
+    kv = _mm256_xor_si256(kv, vb);
+    const unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpgt_epi32(vv, kv)));
+    lane_bytes += static_cast<std::uint32_t>(__builtin_popcount(mask));
+  }
+  return lane_bytes / 4 + count_less_sse2_32(p + i * 4u, n - i, v, bias);
+}
+
+__attribute__((target("avx2"))) inline std::uint32_t count_less_avx2_64(
+    const void* keys, std::uint32_t n, std::uint64_t v,
+    std::uint64_t bias) noexcept {
+  const char* p = static_cast<const char*>(keys);
+  const __m256i vb = _mm256_set1_epi64x(
+      static_cast<long long>(bias ^ detail::kSign64));
+  const __m256i vv = _mm256_set1_epi64x(
+      static_cast<long long>(v ^ bias ^ detail::kSign64));
+  std::uint32_t i = 0;
+  std::uint32_t lane_bytes = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i kv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i * 8u));
+    kv = _mm256_xor_si256(kv, vb);
+    const unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpgt_epi64(vv, kv)));
+    lane_bytes += static_cast<std::uint32_t>(__builtin_popcount(mask));
+  }
+  return lane_bytes / 8 + count_less_sse2_64(p + i * 8u, n - i, v, bias);
+}
+
+/// Dispatch on the active tier.  The active() read is one relaxed atomic
+/// load plus a static-init guard -- noise next to the search itself.
+inline std::uint32_t count_less_32(const void* keys, std::uint32_t n,
+                                   std::uint32_t v,
+                                   std::uint32_t bias) noexcept {
+  switch (active()) {
+    case isa::avx2: return count_less_avx2_32(keys, n, v, bias);
+    case isa::sse2: return count_less_sse2_32(keys, n, v, bias);
+    default: return count_less_scalar_32(keys, n, v, bias);
+  }
+}
+
+inline std::uint32_t count_less_64(const void* keys, std::uint32_t n,
+                                   std::uint64_t v,
+                                   std::uint64_t bias) noexcept {
+  switch (active()) {
+    case isa::avx2: return count_less_avx2_64(keys, n, v, bias);
+    case isa::sse2: return count_less_sse2_64(keys, n, v, bias);
+    default: return count_less_scalar_64(keys, n, v, bias);
+  }
+}
+
+#else  // !LFST_SIMD_ENABLED
+
+inline std::uint32_t count_less_32(const void* keys, std::uint32_t n,
+                                   std::uint32_t v,
+                                   std::uint32_t bias) noexcept {
+  return count_less_scalar_32(keys, n, v, bias);
+}
+
+inline std::uint32_t count_less_64(const void* keys, std::uint32_t n,
+                                   std::uint64_t v,
+                                   std::uint64_t bias) noexcept {
+  return count_less_scalar_64(keys, n, v, bias);
+}
+
+#endif  // LFST_SIMD_ENABLED
+
+}  // namespace lfst::simd

@@ -98,6 +98,7 @@ struct compact_ops {
         have_max = false;
       }
       cts = Core::load_payload(nd);
+      Core::prefetch_payload(cts);
       i = core.search_keys(*cts, v);
     }
     for (;;) {

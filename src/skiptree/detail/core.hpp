@@ -40,9 +40,11 @@
 #include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "common/trace.hpp"
 #include "reclaim/ebr.hpp"
 #include "skiptree/contents.hpp"
+#include "skiptree/detail/kernel.hpp"
 
 namespace lfst::skiptree {
 
@@ -92,12 +94,14 @@ struct skip_tree_options {
 
 namespace detail {
 
-template <typename T, typename Compare, typename Reclaim, typename Alloc>
+template <typename T, typename Compare, typename Reclaim, typename Alloc,
+          typename Kernel = default_search_kernel>
 struct tree_core {
   using key_type = T;
   using compare_t = Compare;
   using reclaim_t = Reclaim;
   using alloc_t = Alloc;
+  using kernel_t = Kernel;
   using contents_t = contents<T>;
   using node_t = tree_node<T>;
   using head_t = head_node<T>;
@@ -211,24 +215,25 @@ struct tree_core {
     contents_t::template destroy<Alloc>(c);
   }
 
-  /// Binary search over the finite keys; lower-bound semantics so that with
-  /// duplicate routing elements the descent uses the leftmost match (going
-  /// too far right at a routing level could skip the target, while landing
-  /// left recovers over links).
+  /// In-node key search via the pluggable kernel (detail/kernel.hpp);
+  /// lower-bound semantics so that with duplicate routing elements the
+  /// descent uses the leftmost match (going too far right at a routing
+  /// level could skip the target, while landing left recovers over links).
+  /// This is the only call site of the kernel inside the skip-tree: every
+  /// operation module searches nodes through here.
   int search_keys(const contents_t& c, const T& v) const {
-    const T* keys = c.keys();
-    std::uint32_t lo = 0;
-    std::uint32_t hi = c.nkeys;
-    while (lo < hi) {
-      const std::uint32_t mid = lo + (hi - lo) / 2;
-      if (cmp(keys[mid], v)) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    if (lo < c.nkeys && !cmp(v, keys[lo])) return static_cast<int>(lo);
-    return -static_cast<int>(lo) - 1;
+    return Kernel::search(c.keys(), c.nkeys, v, cmp);
+  }
+
+  /// Warm the lines the upcoming `search_keys` will touch: a payload is one
+  /// contiguous [header | keys | children] block, so the first key lines sit
+  /// right behind the header line the caller just loaded.  Called by the
+  /// descent loops immediately after loading a child payload, overlapping
+  /// the key-block miss with the header reads.
+  static void prefetch_payload(const contents_t* c) noexcept {
+    const char* p = reinterpret_cast<const char*>(c);
+    lfst::simd::prefetch_ro(p + 64);
+    lfst::simd::prefetch_ro(p + 128);
   }
 
   /// The paper's `-i - 1 == cts.items.length` condition: the probe key is
@@ -315,6 +320,7 @@ struct tree_core {
       nd = is_past_end(i, *cts) ? cts->link
                                 : cts->children()[descend_index(i)];
       cts = load_payload(nd);
+      prefetch_payload(cts);
       i = search_keys(*cts, v);
     }
     return move_forward(nd, v);

@@ -89,6 +89,7 @@ struct insert_ops {
     LFST_M_TALLY(lfst_m_depth);
     for (;;) {
       contents_t* cts = Core::load_payload(nd);
+      Core::prefetch_payload(cts);
       const int i = core.search_keys(*cts, v);
       if (Core::is_past_end(i, *cts)) {
         nd = cts->link;

@@ -128,6 +128,7 @@ struct iterate_ops {
       nd = Core::is_past_end(i, *cts) ? cts->link
                                       : cts->children()[Core::descend_index(i)];
       cts = Core::load_payload(nd);
+      Core::prefetch_payload(cts);
       i = core.search_keys(*cts, lo);
     }
     // Stream from lo's position; the monotonic filter mirrors

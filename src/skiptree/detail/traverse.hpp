@@ -51,6 +51,7 @@ struct traverse_ops {
       nd = Core::is_past_end(i, *cts) ? cts->link
                                       : cts->children()[Core::descend_index(i)];
       cts = Core::load_payload(nd);
+      Core::prefetch_payload(cts);
       i = core.search_keys(*cts, v);
       LFST_M_TALLY_INC(lfst_m_depth);
       LFST_T_STEP();

@@ -25,8 +25,9 @@ inline constexpr std::uint32_t kSerializeVersion = 1;
 
 /// Write the tree's keys (ascending) to `out`.  Quiescent callers get an
 /// exact image; concurrent callers get a weakly-consistent one.
-template <typename T, typename Compare, typename Reclaim, typename Alloc>
-void save(const skip_tree<T, Compare, Reclaim, Alloc>& tree,
+template <typename T, typename Compare, typename Reclaim, typename Alloc,
+          typename Kernel>
+void save(const skip_tree<T, Compare, Reclaim, Alloc, Kernel>& tree,
           std::ostream& out) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "binary serialization requires trivially copyable keys");
@@ -53,8 +54,9 @@ void save(const skip_tree<T, Compare, Reclaim, Alloc>& tree,
 /// `opts_override` is provided.  The result is bulk-built optimal.
 template <typename T, typename Compare = std::less<T>,
           typename Reclaim = reclaim::ebr_policy,
-          typename Alloc = lfst::alloc::pool_policy>
-skip_tree<T, Compare, Reclaim, Alloc> load(
+          typename Alloc = lfst::alloc::pool_policy,
+          typename Kernel = default_search_kernel>
+skip_tree<T, Compare, Reclaim, Alloc, Kernel> load(
     std::istream& in, const skip_tree_options* opts_override = nullptr,
     typename Reclaim::domain_type& domain = Reclaim::default_domain()) {
   static_assert(std::is_trivially_copyable_v<T>,
@@ -86,7 +88,7 @@ skip_tree<T, Compare, Reclaim, Alloc> load(
   } else {
     opts.q_log2 = static_cast<int>(q_log2);
   }
-  return skip_tree<T, Compare, Reclaim, Alloc>::from_sorted(
+  return skip_tree<T, Compare, Reclaim, Alloc, Kernel>::from_sorted(
       std::span<const T>(keys), opts, domain);
 }
 

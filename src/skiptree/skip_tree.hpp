@@ -47,10 +47,12 @@ namespace lfst::skiptree {
 
 template <typename T, typename Compare = std::less<T>,
           typename Reclaim = reclaim::ebr_policy,
-          typename Alloc = lfst::alloc::pool_policy>
+          typename Alloc = lfst::alloc::pool_policy,
+          typename Kernel = default_search_kernel>
 class skip_tree {
  public:
   using key_type = T;
+  using kernel_t = Kernel;
   using contents_t = contents<T>;
   using node_t = tree_node<T>;
   using head_t = head_node<T>;
@@ -275,12 +277,12 @@ class skip_tree {
   }
 
  private:
-  template <typename, typename, typename, typename>
+  template <typename, typename, typename, typename, typename>
   friend class skip_tree_inspector;
-  template <typename, typename, typename, typename>
+  template <typename, typename, typename, typename, typename>
   friend class skip_tree_health;
 
-  using core_t = detail::tree_core<T, Compare, Reclaim, Alloc>;
+  using core_t = detail::tree_core<T, Compare, Reclaim, Alloc, Kernel>;
 
   core_t core_;
 };

@@ -22,11 +22,12 @@ namespace lfst::skiptree {
 
 template <typename T, typename Compare = std::less<T>,
           typename Reclaim = reclaim::ebr_policy,
-          typename Alloc = lfst::alloc::pool_policy>
+          typename Alloc = lfst::alloc::pool_policy,
+          typename Kernel = default_search_kernel>
 class skip_tree_pqueue {
  public:
   using value_type = T;
-  using tree_t = skip_tree<T, Compare, Reclaim, Alloc>;
+  using tree_t = skip_tree<T, Compare, Reclaim, Alloc, Kernel>;
   using domain_t = typename Reclaim::domain_type;
 
   skip_tree_pqueue() : skip_tree_pqueue(skip_tree_options{}) {}
