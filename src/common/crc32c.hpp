@@ -1,0 +1,119 @@
+// CRC32C (Castagnoli) -- the storage layer's record and file checksum.
+//
+// Every durable artifact this repo writes (WAL records, checkpoint files,
+// the v2 serialize format) carries a CRC32C so that recovery can tell a
+// torn or bit-flipped tail from valid data.  Castagnoli rather than the
+// zlib polynomial because (a) it is what the storage literature and every
+// comparable engine (LevelDB, RocksDB, ext4) uses for exactly this job and
+// (b) x86-64 has a dedicated instruction for it (SSE4.2 `crc32`), so the
+// WAL hot path pays ~0.1 cycles/byte instead of a table walk.
+//
+// Dispatch follows the simd.hpp idiom: one cached `__builtin_cpu_supports`
+// probe selects the hardware body, with a constexpr-built slice-by-1 table
+// as the portable fallback (and the reference the tests check the hardware
+// path against).  The value is the standard "reflected" CRC32C: init
+// 0xFFFFFFFF, final XOR, e.g. crc32c("123456789") == 0xE3069283.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define LFST_CRC32C_HW 1
+#else
+#define LFST_CRC32C_HW 0
+#endif
+
+namespace lfst::crc {
+
+namespace detail {
+
+inline constexpr std::uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected
+
+inline constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+/// Portable byte-at-a-time update over raw (pre-inverted) state.
+inline std::uint32_t update_sw(std::uint32_t state, const void* data,
+                               std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    state = kTable[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+#if LFST_CRC32C_HW
+__attribute__((target("sse4.2"))) inline std::uint32_t update_hw(
+    std::uint32_t state, const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t s = state;
+  while (len >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    s = __builtin_ia32_crc32di(s, chunk);
+    p += 8;
+    len -= 8;
+  }
+  std::uint32_t s32 = static_cast<std::uint32_t>(s);
+  while (len > 0) {
+    s32 = __builtin_ia32_crc32qi(s32, *p);
+    ++p;
+    --len;
+  }
+  return s32;
+}
+
+inline bool hw_available() noexcept {
+  static const bool ok = __builtin_cpu_supports("sse4.2");
+  return ok;
+}
+#endif  // LFST_CRC32C_HW
+
+inline std::uint32_t update(std::uint32_t state, const void* data,
+                            std::size_t len) noexcept {
+#if LFST_CRC32C_HW
+  if (hw_available()) return update_hw(state, data, len);
+#endif
+  return update_sw(state, data, len);
+}
+
+}  // namespace detail
+
+/// Incremental CRC32C: construct, update() over any number of chunks, then
+/// value().  A default-constructed accumulator over zero bytes yields 0.
+class crc32c {
+ public:
+  void update(const void* data, std::size_t len) noexcept {
+    state_ = detail::update(state_, data, len);
+  }
+
+  std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience.
+inline std::uint32_t crc32c_of(const void* data, std::size_t len) noexcept {
+  crc32c c;
+  c.update(data, len);
+  return c.value();
+}
+
+}  // namespace lfst::crc

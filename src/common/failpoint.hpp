@@ -19,7 +19,10 @@
 //     between a payload read and its CAS so that races too narrow to hit
 //     naturally occur on demand;
 //   * spurious CAS failure -- a CAS site reports failure without attempting
-//     the exchange, driving every retry loop through its recovery path.
+//     the exchange, driving every retry loop through its recovery path;
+//   * crash               -- any site _Exit()s the process on the spot, the
+//     kill switch the storage crash-recovery harness uses to die at a
+//     chosen WAL/checkpoint step and prove recovery comes back correct.
 //
 // Zero cost when disabled.  All three site macros compile to nothing
 // (`((void)0)` / constant `false`) unless LFST_FAILPOINTS is defined, so
@@ -44,6 +47,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <new>
@@ -62,7 +66,16 @@ enum class action : std::uint8_t {
   fail = 1,   ///< ALLOC site: throw bad_alloc; CAS site: report spurious failure
   yield = 2,  ///< call std::this_thread::yield() `delay_iters` times
   sleep = 3,  ///< sleep for `delay_us` microseconds
+  crash = 4,  ///< _Exit(kCrashExitCode) immediately -- simulated hard kill
 };
+
+/// Exit status of a crash-action fire.  _Exit skips every destructor,
+/// atexit handler and stdio flush, so from the filesystem's point of view
+/// the process dies exactly as a `kill -9` would: whatever was write()ten
+/// is visible post-mortem, whatever sat in user-space buffers is gone.  The
+/// crash-recovery harness (tests/storage/) forks a child, arms one site
+/// with this action, and recognizes the kill by this status.
+inline constexpr int kCrashExitCode = 87;
 
 /// Per-site firing policy.  All gates compose: a hit fires only if it
 /// passes the count gate, the thread gate, the probability gate, and the
@@ -174,6 +187,9 @@ class site {
   }
 
   void delay_if(action a) noexcept {
+    if (a == action::crash) {
+      std::_Exit(kCrashExitCode);
+    }
     if (a == action::yield) {
       const std::uint32_t n = delay_iters_.load(std::memory_order_relaxed);
       for (std::uint32_t i = 0; i < n; ++i) std::this_thread::yield();

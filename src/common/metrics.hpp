@@ -108,6 +108,12 @@ enum class cid : std::uint16_t {
   ebr_cap_deferrals,
   ebr_escape_frees,
   pool_pressure_trims,
+  storage_wal_appends,
+  storage_wal_bytes,
+  storage_wal_fsyncs,
+  storage_wal_rotations,
+  storage_checkpoints,
+  storage_replay_records,
   kCount
 };
 
@@ -148,6 +154,12 @@ inline constexpr std::string_view kCounterNames[] = {
     "ebr.cap_deferrals",
     "ebr.escape_frees",
     "pool.pressure_trims",
+    "storage.wal.appends",
+    "storage.wal.bytes",
+    "storage.wal.fsyncs",
+    "storage.wal.rotations",
+    "storage.checkpoints",
+    "storage.replay.records",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
               static_cast<std::size_t>(cid::kCount));
@@ -161,6 +173,8 @@ enum class hid : std::uint16_t {
   skiptree_health_backlog,          ///< empty nodes + suboptimal refs per probe
   skiptree_health_occupancy_pct,    ///< avg node fill vs 1/q ideal, percent
   ebr_stall_age_ticks,              ///< tsc age of a stalled slot at detection
+  storage_fsync_ticks,              ///< tsc per WAL fsync (group-commit cost)
+  storage_commit_batch,             ///< records made durable per fsync batch
   kCount
 };
 
@@ -172,6 +186,8 @@ inline constexpr std::string_view kHistNames[] = {
     "skiptree.health_backlog",
     "skiptree.health_occupancy_pct",
     "ebr.stall_age_ticks",
+    "storage.wal.fsync_ticks",
+    "storage.wal.commit_batch",
 };
 static_assert(sizeof(kHistNames) / sizeof(kHistNames[0]) ==
               static_cast<std::size_t>(hid::kCount));

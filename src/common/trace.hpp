@@ -66,6 +66,9 @@ enum class sid : std::uint16_t {
   ebr_advance,
   health_probe,
   reclaim_tick,
+  wal_flush,
+  storage_checkpoint,
+  storage_replay,
   kCount
 };
 
@@ -86,6 +89,9 @@ inline constexpr std::string_view kSpanNames[] = {
     "ebr.advance",
     "skiptree.health_probe",
     "reclaim.watchdog_tick",
+    "storage.wal.flush",
+    "storage.checkpoint",
+    "storage.replay",
 };
 static_assert(sizeof(kSpanNames) / sizeof(kSpanNames[0]) ==
               static_cast<std::size_t>(sid::kCount));

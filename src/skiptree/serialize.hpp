@@ -6,22 +6,142 @@
 // empty nodes and suboptimal references the source tree had accumulated are
 // gone in the loaded copy.
 //
-//   [magic u64][version u32][q_log2 u32][count u64][keys...]
+// Version 2 (current) appends a CRC32C over everything before it, so load()
+// rejects truncated and bit-flipped files with a precise error instead of
+// constructing a garbage tree -- the property the storage layer's
+// checkpoint validation (src/storage/checkpoint.hpp) leans on:
+//
+//   [magic u64][version u32][q_log2 u32][count u64][keys...][crc32c u32]
+//
+// Version 1 files (no trailing CRC) are still readable; new files are
+// always written as v2.  The key stream is additionally required to be
+// strictly ascending on load, because from_sorted's contract is sorted,
+// duplicate-free input -- a file that passes its CRC but is unsorted is a
+// writer bug, and rejecting it here turns silent structural corruption into
+// a clear error.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <stdexcept>
 #include <type_traits>
 #include <vector>
 
+#include "common/crc32c.hpp"
 #include "skiptree/skip_tree.hpp"
 
 namespace lfst::skiptree {
 
 inline constexpr std::uint64_t kSerializeMagic = 0x4c46535454524545ull;  // "LFSTTREE"
-inline constexpr std::uint32_t kSerializeVersion = 1;
+inline constexpr std::uint32_t kSerializeVersion = 2;
+inline constexpr std::uint32_t kSerializeVersionLegacy = 1;
+
+namespace serialize_detail {
+
+/// Read exactly `len` bytes or throw with `what` naming the short field.
+inline void read_exact(std::istream& in, void* dst, std::size_t len,
+                       const char* what) {
+  in.read(static_cast<char*>(dst), static_cast<std::streamsize>(len));
+  if (static_cast<std::size_t>(in.gcount()) != len) {
+    throw std::runtime_error(std::string("skiptree::load: truncated ") + what);
+  }
+}
+
+}  // namespace serialize_detail
+
+/// Keys + the tree parameter the stream carried; what `load_keys` returns
+/// and the checkpoint reader consumes directly (recovery replays a WAL tail
+/// onto the key set before any tree is built).
+template <typename T>
+struct loaded_keys {
+  std::vector<T> keys;  ///< strictly ascending
+  int q_log2 = 0;
+};
+
+/// Write `keys` (must be sorted ascending, duplicate-free) as a v2 stream.
+template <typename T>
+void save_keys(std::span<const T> keys, int q_log2, std::ostream& out) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "binary serialization requires trivially copyable keys");
+  const std::uint64_t magic = kSerializeMagic;
+  const std::uint32_t version = kSerializeVersion;
+  const std::uint32_t q = static_cast<std::uint32_t>(q_log2);
+  const std::uint64_t count = keys.size();
+
+  crc::crc32c crc;
+  auto put = [&](const void* p, std::size_t n) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    crc.update(p, n);
+  };
+  put(&magic, sizeof(magic));
+  put(&version, sizeof(version));
+  put(&q, sizeof(q));
+  put(&count, sizeof(count));
+  if (!keys.empty()) put(keys.data(), keys.size() * sizeof(T));
+  const std::uint32_t sum = crc.value();
+  out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+  if (!out) throw std::runtime_error("skiptree::save: stream write failed");
+}
+
+/// Parse a stream written by save_keys (v2) or the legacy v1 writer.
+/// Throws with a field-precise message on truncation, on checksum mismatch,
+/// and on an unsorted key stream.  The key payload is read in bounded
+/// chunks so a bit-flipped count cannot provoke a huge up-front allocation:
+/// the vector grows only as far as bytes actually arrive.
+template <typename T>
+loaded_keys<T> load_keys(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "binary serialization requires trivially copyable keys");
+  using serialize_detail::read_exact;
+
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t q_log2 = 0;
+  std::uint64_t count = 0;
+  crc::crc32c crc;
+  auto get = [&](void* p, std::size_t n, const char* what) {
+    read_exact(in, p, n, what);
+    crc.update(p, n);
+  };
+  get(&magic, sizeof(magic), "magic");
+  if (magic != kSerializeMagic) {
+    throw std::runtime_error("skiptree::load: bad magic");
+  }
+  get(&version, sizeof(version), "version");
+  if (version != kSerializeVersion && version != kSerializeVersionLegacy) {
+    throw std::runtime_error("skiptree::load: unsupported version");
+  }
+  get(&q_log2, sizeof(q_log2), "q_log2");
+  get(&count, sizeof(count), "count");
+
+  loaded_keys<T> out;
+  out.q_log2 = static_cast<int>(q_log2);
+  // Chunked key read: at most 64 KiB of keys at a time.
+  constexpr std::uint64_t kChunkKeys =
+      (std::uint64_t{64} << 10) / sizeof(T) + 1;
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    const std::uint64_t batch = std::min(remaining, kChunkKeys);
+    const std::size_t old = out.keys.size();
+    out.keys.resize(old + static_cast<std::size_t>(batch));
+    get(out.keys.data() + old, static_cast<std::size_t>(batch) * sizeof(T),
+        "key stream");
+    remaining -= batch;
+  }
+  if (version == kSerializeVersion) {
+    const std::uint32_t expect = crc.value();
+    std::uint32_t stored = 0;
+    read_exact(in, &stored, sizeof(stored), "checksum");
+    if (stored != expect) {
+      throw std::runtime_error(
+          "skiptree::load: checksum mismatch (corrupt file)");
+    }
+  }
+  return out;
+}
 
 /// Write the tree's keys (ascending) to `out`.  Quiescent callers get an
 /// exact image; concurrent callers get a weakly-consistent one.
@@ -29,25 +149,10 @@ template <typename T, typename Compare, typename Reclaim, typename Alloc,
           typename Kernel>
 void save(const skip_tree<T, Compare, Reclaim, Alloc, Kernel>& tree,
           std::ostream& out) {
-  static_assert(std::is_trivially_copyable_v<T>,
-                "binary serialization requires trivially copyable keys");
   std::vector<T> keys;
   keys.reserve(tree.size());
   tree.for_each([&](const T& k) { keys.push_back(k); });
-
-  const std::uint64_t magic = kSerializeMagic;
-  const std::uint32_t version = kSerializeVersion;
-  const std::uint32_t q_log2 = static_cast<std::uint32_t>(tree.options().q_log2);
-  const std::uint64_t count = keys.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  out.write(reinterpret_cast<const char*>(&q_log2), sizeof(q_log2));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  if (!keys.empty()) {
-    out.write(reinterpret_cast<const char*>(keys.data()),
-              static_cast<std::streamsize>(keys.size() * sizeof(T)));
-  }
-  if (!out) throw std::runtime_error("skiptree::save: stream write failed");
+  save_keys(std::span<const T>(keys), tree.options().q_log2, out);
 }
 
 /// Load a tree previously written by save().  The stored q is used unless
@@ -59,37 +164,24 @@ template <typename T, typename Compare = std::less<T>,
 skip_tree<T, Compare, Reclaim, Alloc, Kernel> load(
     std::istream& in, const skip_tree_options* opts_override = nullptr,
     typename Reclaim::domain_type& domain = Reclaim::default_domain()) {
-  static_assert(std::is_trivially_copyable_v<T>,
-                "binary serialization requires trivially copyable keys");
-  std::uint64_t magic = 0;
-  std::uint32_t version = 0;
-  std::uint32_t q_log2 = 0;
-  std::uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  in.read(reinterpret_cast<char*>(&q_log2), sizeof(q_log2));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || magic != kSerializeMagic) {
-    throw std::runtime_error("skiptree::load: bad magic/header");
+  loaded_keys<T> lk = load_keys<T>(in);
+  // from_sorted requires strictly ascending input; enforce under the
+  // caller's comparator so an equivalence-class violation is caught too.
+  Compare cmp{};
+  for (std::size_t i = 1; i < lk.keys.size(); ++i) {
+    if (!cmp(lk.keys[i - 1], lk.keys[i])) {
+      throw std::runtime_error(
+          "skiptree::load: key stream not strictly ascending");
+    }
   }
-  if (version != kSerializeVersion) {
-    throw std::runtime_error("skiptree::load: unsupported version");
-  }
-  std::vector<T> keys(count);
-  if (count > 0) {
-    in.read(reinterpret_cast<char*>(keys.data()),
-            static_cast<std::streamsize>(count * sizeof(T)));
-  }
-  if (!in) throw std::runtime_error("skiptree::load: truncated key stream");
-
   skip_tree_options opts;
   if (opts_override != nullptr) {
     opts = *opts_override;
   } else {
-    opts.q_log2 = static_cast<int>(q_log2);
+    opts.q_log2 = lk.q_log2;
   }
   return skip_tree<T, Compare, Reclaim, Alloc, Kernel>::from_sorted(
-      std::span<const T>(keys), opts, domain);
+      std::span<const T>(lk.keys), opts, domain);
 }
 
 }  // namespace lfst::skiptree

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdio>
 #include <set>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -307,16 +308,25 @@ TEST(ChaosReclaim, DegradedModeFreesThroughHazardDomain) {
 // hazard-backed Harris list, with the same owner-partitioned mirror oracle.
 void run_hazard_list_schedule(bool oom, bool delay) {
   registry::instance().reset_all();
+  // configure() REPLACES a site's policy, so the combined schedule must
+  // arm disjoint site sets: an earlier version armed fail and then yield
+  // on the same sites, leaving OOM only on alloc.pool.refill (hit ~0.3%
+  // of allocations) and flaking "injected nothing" about one run in six.
+  // Combined now keeps fail on the pool path -- alloc.pool.allocate is hit
+  // by essentially every insert, so injection is guaranteed -- and yields
+  // on the new/delete path only.
   if (oom) {
     for (const char* site :
          {"alloc.pool.allocate", "alloc.pool.refill", "alloc.new_delete"}) {
+      if (delay && std::string_view(site) == "alloc.new_delete") continue;
       registry::instance().configure(
           site, policy{.act = action::fail, .probability = 0.02});
     }
   }
   if (delay) {
-    for (const char* site :
-         {"alloc.pool.allocate", "alloc.new_delete"}) {
+    std::vector<const char*> sites{"alloc.new_delete"};
+    if (!oom) sites.push_back("alloc.pool.allocate");
+    for (const char* site : sites) {
       registry::instance().configure(
           site,
           policy{.act = action::yield, .probability = 0.05, .delay_iters = 4});
