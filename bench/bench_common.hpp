@@ -38,6 +38,7 @@
 #include "common/metrics.hpp"
 #include "common/metrics_export.hpp"
 #include "common/stats.hpp"
+#include "common/telemetry.hpp"
 #include "common/trace.hpp"
 #include "common/trace_export.hpp"
 #include "skiptree/detail/kernel.hpp"
@@ -276,6 +277,89 @@ class bench_json_reporter {
   std::string bench_;
   std::string path_;
   std::vector<entry> entries_;
+};
+
+/// Telemetry sidecar: --telemetry-json[=PATH] (env LFST_TELEMETRY_JSON)
+/// starts the plane's background aggregator (interval from
+/// LFST_TELEMETRY_INTERVAL_MS, default 50) for the life of the bench and
+/// writes the JSON-lines export -- schema, ring samples, sketch summaries
+/// -- on destruction.  --telemetry-prom[=PATH] (env LFST_TELEMETRY_PROM)
+/// additionally writes the Prometheus text exposition of the final state.
+/// Benches can note() extra pre-serialized JSON-lines records (the
+/// contention heatmap) to append to the JSON sidecar.  Hot-path hooks only
+/// populate the sketches in -DLFST_TELEMETRY=ON builds (the default);
+/// compiled-out builds still write a valid, mostly-empty file.
+class telemetry_reporter {
+ public:
+  telemetry_reporter(int& argc, char** argv)
+      : json_path_(consume_path_flag(argc, argv, "--telemetry-json",
+                                     "LFST_TELEMETRY_JSON",
+                                     "telemetry.jsonl")),
+        prom_path_(consume_path_flag(argc, argv, "--telemetry-prom",
+                                     "LFST_TELEMETRY_PROM",
+                                     "telemetry.prom")) {
+    if (!enabled()) return;
+    const std::size_t ms = env_size("LFST_TELEMETRY_INTERVAL_MS", 50);
+    telemetry::plane::instance().start(
+        std::chrono::milliseconds(ms == 0 ? 50 : ms));
+  }
+
+  telemetry_reporter(const telemetry_reporter&) = delete;
+  telemetry_reporter& operator=(const telemetry_reporter&) = delete;
+
+  bool enabled() const noexcept {
+    return !json_path_.empty() || !prom_path_.empty();
+  }
+
+  /// Append one pre-serialized JSON object (no trailing newline needed) to
+  /// the JSON-lines sidecar, e.g. a heatmap_snapshot::to_json() record.
+  void note(std::string json_line) {
+    notes_.push_back(std::move(json_line));
+  }
+
+  ~telemetry_reporter() {
+    if (!enabled()) return;
+    auto& p = telemetry::plane::instance();
+    p.stop();
+    p.snapshot_now();  // final sample so short runs export at least one
+    if (!json_path_.empty()) {
+      if (p.write_json_file(json_path_)) {
+        if (std::FILE* f = std::fopen(json_path_.c_str(), "a");
+            f != nullptr) {
+          for (const std::string& n : notes_) {
+            std::fprintf(f, "%s\n", n.c_str());
+          }
+          std::fprintf(f,
+                       "{\"type\":\"meta\",\"name\":\"kernel\",\"value\":"
+                       "\"%s\"}\n",
+                       skiptree::selected_kernel_name());
+          std::fclose(f);
+        }
+        std::fprintf(stderr, "telemetry sidecar written to %s\n",
+                     json_path_.c_str());
+      } else {
+        std::fprintf(stderr, "telemetry sidecar: cannot write %s\n",
+                     json_path_.c_str());
+      }
+    }
+    if (!prom_path_.empty()) {
+      if (std::FILE* f = std::fopen(prom_path_.c_str(), "w"); f != nullptr) {
+        const std::string text = p.to_prometheus();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "telemetry exposition written to %s\n",
+                     prom_path_.c_str());
+      } else {
+        std::fprintf(stderr, "telemetry exposition: cannot write %s\n",
+                     prom_path_.c_str());
+      }
+    }
+  }
+
+ private:
+  std::string json_path_;
+  std::string prom_path_;
+  std::vector<std::string> notes_;
 };
 
 /// Span-trace sidecar: on destruction, drains the trace registry and writes

@@ -102,6 +102,7 @@ struct durable_ctx {
 int main(int argc, char** argv) {
   lfst::bench::metrics_reporter metrics(argc, argv);
   lfst::bench::bench_json_reporter json("wal_overhead", argc, argv);
+  lfst::bench::telemetry_reporter telemetry(argc, argv);
   const bench_config cfg = bench_config::from_env();
   lfst::bench::print_header("WAL overhead: plain tree vs durable_tree", cfg);
 

@@ -116,4 +116,64 @@ inline std::uint32_t crc32c_of(const void* data, std::size_t len) noexcept {
   return c.value();
 }
 
+namespace detail {
+
+// GF(2) 32x32 matrix ops over the reflected polynomial, used by
+// crc32c_combine.  A matrix is 32 column vectors; `times` multiplies a
+// matrix by a vector (a CRC state), `square` multiplies a matrix by itself.
+inline std::uint32_t gf2_matrix_times(const std::uint32_t* mat,
+                                      std::uint32_t vec) noexcept {
+  std::uint32_t sum = 0;
+  for (int i = 0; vec != 0; vec >>= 1, ++i) {
+    if (vec & 1u) sum ^= mat[i];
+  }
+  return sum;
+}
+
+inline void gf2_matrix_square(std::uint32_t* square,
+                              const std::uint32_t* mat) noexcept {
+  for (int n = 0; n < 32; ++n) square[n] = gf2_matrix_times(mat, mat[n]);
+}
+
+}  // namespace detail
+
+/// Combine two finalized CRC32C values: given crc1 = crc32c(A) and
+/// crc2 = crc32c(B), returns crc32c(A || B) where len2 = |B| in bytes.
+/// This is the zlib crc32_combine construction ported to the Castagnoli
+/// polynomial: shift crc1 forward by len2 zero-bytes via repeated matrix
+/// squaring (O(log len2)), then XOR with crc2.  It lets a writer checksum
+/// independent byte ranges out of order -- the streaming checkpoint saver
+/// CRCs the header (whose count field is only known at the end) separately
+/// from the key payload it streams.
+inline std::uint32_t crc32c_combine(std::uint32_t crc1, std::uint32_t crc2,
+                                    std::uint64_t len2) noexcept {
+  if (len2 == 0) return crc1;
+  std::uint32_t even[32];  // operator for 2^k zero bytes, k even
+  std::uint32_t odd[32];   // operator for 2^k zero bytes, k odd
+
+  // odd = operator for one zero BIT: row 0 is the polynomial, the rest
+  // shift each bit up one position.
+  odd[0] = detail::kPoly;
+  std::uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  detail::gf2_matrix_square(even, odd);  // even = two zero bits
+  detail::gf2_matrix_square(odd, even);  // odd  = four zero bits
+  // The loop below squares again before first use, so the first applied
+  // operator is eight zero bits = one zero byte, as required.
+
+  do {
+    detail::gf2_matrix_square(even, odd);
+    if (len2 & 1u) crc1 = detail::gf2_matrix_times(even, crc1);
+    len2 >>= 1;
+    if (len2 == 0) break;
+    detail::gf2_matrix_square(odd, even);
+    if (len2 & 1u) crc1 = detail::gf2_matrix_times(odd, crc1);
+    len2 >>= 1;
+  } while (len2 != 0);
+  return crc1 ^ crc2;
+}
+
 }  // namespace lfst::crc

@@ -23,6 +23,7 @@
 
 #include "alloc/pool.hpp"
 #include "common/metrics.hpp"
+#include "common/telemetry.hpp"
 #include "common/trace.hpp"
 #include "reclaim/ebr.hpp"
 
@@ -65,7 +66,29 @@ class reclaim_watchdog {
       : domain_(domain),
         opts_(opts),
         t0_(std::chrono::steady_clock::now()),
-        tsc0_(::lfst::metrics::tsc_now()) {}
+        tsc0_(::lfst::metrics::tsc_now()) {
+#if defined(LFST_TELEMETRY)
+    // Publish the latest pass's stall/limbo gauges into the telemetry
+    // plane.  `fill` reads the last report under mu_ (tick_now holds it
+    // only to push a sample; no hot-path interaction).
+    tel_source_ = telemetry::scoped_source(
+        "reclaim",
+        {"pinned", "stalled", "quarantined", "limbo_bytes",
+         "overflow_bytes"},
+        [this](double* v) {
+          stall_report r;
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!series_.empty()) r = series_.back().report;
+          }
+          v[0] = static_cast<double>(r.pinned);
+          v[1] = static_cast<double>(r.stalled);
+          v[2] = static_cast<double>(r.quarantined);
+          v[3] = static_cast<double>(r.limbo_bytes);
+          v[4] = static_cast<double>(r.overflow_bytes);
+        });
+#endif
+  }
 
   ~reclaim_watchdog() { stop(); }
 
@@ -164,6 +187,12 @@ class reclaim_watchdog {
   std::thread thread_;
   mutable std::mutex mu_;
   std::vector<watchdog_sample> series_;
+
+#if defined(LFST_TELEMETRY)
+  // Last member: destroyed first, so the aggregator stops calling into us
+  // before series_/mu_ go away.
+  telemetry::scoped_source tel_source_;
+#endif
 };
 
 }  // namespace lfst::reclaim

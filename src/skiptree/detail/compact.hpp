@@ -66,7 +66,7 @@ struct compact_ops {
         return true;
       }
       Core::destroy(repl);
-      core.bump(tree_counter::cas_failures);
+      core.bump_cas_failure(s.node, /*level=*/0);
       LFST_M_TALLY_INC(lfst_m_retries);
       bo();
       s = core.move_forward(s.node, v);

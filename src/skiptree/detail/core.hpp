@@ -45,6 +45,7 @@
 #include "reclaim/ebr.hpp"
 #include "skiptree/contents.hpp"
 #include "skiptree/detail/kernel.hpp"
+#include "skiptree/heatmap.hpp"
 
 namespace lfst::skiptree {
 
@@ -135,6 +136,13 @@ struct tree_core {
   // cross-structure dumps see every tree's events combined.
   metrics::instance_counters<tree_counter> counters;
 
+  // CAS-contention heatmap (skiptree/heatmap.hpp).  Like `counters`: per
+  // instance, always on, relaxed, written only from the CAS-failure slow
+  // path.  `bump_cas_failure` is the ONLY writer and also the only caller
+  // of bump(cas_failures), so the heatmap's grand total equals the
+  // cas_failures counter exactly -- tests and contention_profile assert it.
+  cas_heatmap heat;
+
   void bump(tree_counter c) noexcept {
     counters.inc(c);
     // Every lost CAS race funnels through this bump, so it doubles as the
@@ -143,6 +151,14 @@ struct tree_core {
     if (c == tree_counter::cas_failures) LFST_T_RETRY();
     LFST_M_COUNT(static_cast<metrics::cid>(
         static_cast<std::uint16_t>(c)));
+  }
+
+  /// A payload CAS on `nd`'s list at `level` lost its race.  Attributes
+  /// the failure in the heatmap, then funnels through bump() for the
+  /// counter / span-retry / metrics mirrors.
+  void bump_cas_failure(const node_t* nd, int level) noexcept {
+    heat.record(level, nd);
+    bump(tree_counter::cas_failures);
   }
 
   // --- lifecycle -------------------------------------------------------------

@@ -54,7 +54,7 @@ struct insert_ops {
     core.size.fetch_add(1, std::memory_order_relaxed);
     try {
       for (int lvl = 0; lvl < height; ++lvl) {
-        node_t* right = split_list(core, v, srchs[lvl]);
+        node_t* right = split_list(core, v, srchs[lvl], lvl);
         if (right == nullptr) break;  // v vanished at lvl (concurrent remove)
         if (!insert_list(core, v, srchs.data(), right, lvl + 1)) break;
       }
@@ -186,7 +186,7 @@ struct insert_ops {
         return true;
       }
       Core::destroy(repl);
-      core.bump(tree_counter::cas_failures);
+      core.bump_cas_failure(nd, level);
       LFST_M_TALLY_INC(lfst_m_retries);
       // cts now holds nd's current payload (CAS reloads on failure).
       bo();
@@ -199,7 +199,7 @@ struct insert_ops {
   /// partition (elements > v).  Returns the right node, to be linked as the
   /// child accompanying `v` one level up; null if `v` disappeared (the split
   /// is then abandoned, paper Sec. III-C).
-  static node_t* split_list(Core& core, const T& v, search& s) {
+  static node_t* split_list(Core& core, const T& v, search& s, int level) {
     node_t* nd = s.node;
     contents_t* cts = s.cts;
     node_t* rnode = nullptr;
@@ -244,7 +244,7 @@ struct insert_ops {
         return rnode;
       }
       Core::destroy(left);
-      core.bump(tree_counter::cas_failures);
+      core.bump_cas_failure(nd, level);
       bo();
       // cts reloaded by the failed CAS; retry (possibly moving forward).
     }

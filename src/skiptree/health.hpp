@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/telemetry.hpp"
 #include "common/trace.hpp"
 #include "skiptree/skip_tree.hpp"
 
@@ -211,7 +212,22 @@ class health_ticker {
 
   health_ticker(const tree_t& tree, std::chrono::microseconds interval,
                 health_options opts = health_options{})
-      : sampler_(tree, opts), interval_(interval) {}
+      : sampler_(tree, opts), interval_(interval) {
+    tel_source_ = telemetry::scoped_source(
+        "health",
+        {"occupancy_pct", "empty_fraction", "suboptimal_refs", "backlog",
+         "height"},
+        [this](double* v) {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (series_.empty()) return;  // columns stay NaN until a probe
+          const health_sample& s = series_.back();
+          v[0] = s.occupancy_pct();
+          v[1] = s.empty_fraction();
+          v[2] = static_cast<double>(s.suboptimal_refs);
+          v[3] = static_cast<double>(s.compaction_backlog());
+          v[4] = static_cast<double>(s.height);
+        });
+  }
 
   ~health_ticker() { stop(); }
 
@@ -265,6 +281,9 @@ class health_ticker {
   std::thread thread_;
   mutable std::mutex mu_;
   std::vector<health_sample> series_;
+  // Last member: unregisters from the telemetry plane before mu_/series_
+  // (which the gauge callback reads) are torn down.
+  telemetry::scoped_source tel_source_;
 };
 
 }  // namespace lfst::skiptree

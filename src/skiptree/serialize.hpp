@@ -86,6 +86,91 @@ void save_keys(std::span<const T> keys, int q_log2, std::ostream& out) {
   if (!out) throw std::runtime_error("skiptree::save: stream write failed");
 }
 
+/// Streaming v2 writer: byte-identical output to save_keys without ever
+/// materializing the key set.  The count field sits BEFORE the key stream
+/// and is only known at the end, so the writer (a) leaves a placeholder
+/// and seeks back to patch it -- `out` must therefore be seekable (a file
+/// stream; checkpoint.hpp's use) -- and (b) CRCs the prefix (header +
+/// count) and the key stream separately, joining them at finish() with
+/// crc::crc32c_combine.  Usage:
+///
+///   key_stream_writer<T> w(q_log2, out);
+///   tree.for_each([&](const T& k) { w.push(k); });
+///   w.finish();
+///
+/// Keys buffer in 64 KiB batches, so peak memory is flat in the tree size
+/// (the checkpoint satellite's whole point).
+template <typename T>
+class key_stream_writer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "binary serialization requires trivially copyable keys");
+
+ public:
+  key_stream_writer(int q_log2, std::ostream& out) : out_(out) {
+    const std::uint64_t magic = kSerializeMagic;
+    const std::uint32_t version = kSerializeVersion;
+    const std::uint32_t q = static_cast<std::uint32_t>(q_log2);
+    auto put = [&](const void* p, std::size_t n) {
+      out_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+      prefix_crc_.update(p, n);
+    };
+    put(&magic, sizeof(magic));
+    put(&version, sizeof(version));
+    put(&q, sizeof(q));
+    count_pos_ = out_.tellp();
+    const std::uint64_t placeholder = 0;  // patched by finish()
+    out_.write(reinterpret_cast<const char*>(&placeholder),
+               sizeof(placeholder));
+    buf_.reserve(kBufKeys);
+  }
+
+  key_stream_writer(const key_stream_writer&) = delete;
+  key_stream_writer& operator=(const key_stream_writer&) = delete;
+
+  void push(const T& k) {
+    buf_.push_back(k);
+    ++count_;
+    if (buf_.size() >= kBufKeys) flush_buf();
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+
+  /// Patch the count, write the combined CRC.  Call exactly once.
+  void finish() {
+    flush_buf();
+    out_.seekp(count_pos_);
+    out_.write(reinterpret_cast<const char*>(&count_), sizeof(count_));
+    out_.seekp(0, std::ios::end);
+    prefix_crc_.update(&count_, sizeof(count_));
+    const std::uint32_t sum = crc::crc32c_combine(
+        prefix_crc_.value(), keys_crc_.value(), key_bytes_);
+    out_.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+    if (!out_) throw std::runtime_error("skiptree::save: stream write failed");
+  }
+
+ private:
+  static constexpr std::size_t kBufKeys =
+      (std::size_t{64} << 10) / sizeof(T) + 1;
+
+  void flush_buf() {
+    if (buf_.empty()) return;
+    const std::size_t n = buf_.size() * sizeof(T);
+    out_.write(reinterpret_cast<const char*>(buf_.data()),
+               static_cast<std::streamsize>(n));
+    keys_crc_.update(buf_.data(), n);
+    key_bytes_ += n;
+    buf_.clear();
+  }
+
+  std::ostream& out_;
+  std::ostream::pos_type count_pos_;
+  std::vector<T> buf_;
+  std::uint64_t count_ = 0;
+  std::uint64_t key_bytes_ = 0;
+  crc::crc32c prefix_crc_;  // magic + version + q_log2 (+ count at finish)
+  crc::crc32c keys_crc_;    // the key stream
+};
+
 /// Parse a stream written by save_keys (v2) or the legacy v1 writer.
 /// Throws with a field-precise message on truncation, on checksum mismatch,
 /// and on an unsorted key stream.  The key payload is read in bounded

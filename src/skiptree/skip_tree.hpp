@@ -33,6 +33,7 @@
 #include <span>
 
 #include "alloc/pool.hpp"
+#include "common/telemetry.hpp"
 #include "common/trace.hpp"
 #include "reclaim/ebr.hpp"
 #include "skiptree/contents.hpp"
@@ -89,6 +90,7 @@ class skip_tree {
   /// Wait-free membership test.
   bool contains(const T& v) const {
     LFST_T_SPAN(::lfst::trace::sid::skiptree_contains);
+    LFST_TEL_OP(::lfst::telemetry::skid::op_contains);
     guard_t g(core_.domain);
     return detail::traverse_ops<core_t>::contains(core_, v, g);
   }
@@ -101,6 +103,7 @@ class skip_tree {
   /// distribution Pr(H = h) = q^h (1 - q).
   bool add_with_height(const T& v, int height) {
     LFST_T_SPAN(::lfst::trace::sid::skiptree_add);
+    LFST_TEL_OP(::lfst::telemetry::skid::op_add);
     guard_t g(core_.domain);
     return detail::insert_ops<core_t>::add(core_, v, height);
   }
@@ -109,6 +112,7 @@ class skip_tree {
   /// `v` was absent.
   bool remove(const T& v) {
     LFST_T_SPAN(::lfst::trace::sid::skiptree_remove);
+    LFST_TEL_OP(::lfst::telemetry::skid::op_remove);
     guard_t g(core_.domain);
     return detail::compact_ops<core_t>::remove(core_, v);
   }
@@ -252,6 +256,14 @@ class skip_tree {
     std::uint64_t limbo_bytes = 0;      ///< exact bytes awaiting reclamation
     std::uint64_t limbo_bytes_hwm = 0;  ///< peak of limbo_bytes over the run
   };
+
+  /// CAS-contention heatmap (skiptree/heatmap.hpp): every lost payload CAS
+  /// since construction, attributed to (level, node-address-hash bucket).
+  /// Always on; its total() equals stats().cas_failures exactly when read
+  /// quiescently.
+  heatmap_snapshot contention_heatmap() const noexcept {
+    return core_.heat.snapshot();
+  }
 
   structural_stats stats() const noexcept {
     const auto c = core_.counters.snapshot();

@@ -33,6 +33,7 @@
 // .prune -- one kill point per distinct crash window.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -44,6 +45,7 @@
 
 #include "common/failpoint.hpp"
 #include "common/metrics.hpp"
+#include "common/telemetry.hpp"
 #include "common/trace.hpp"
 #include "skiptree/serialize.hpp"
 #include "storage/wal.hpp"
@@ -55,6 +57,7 @@ struct checkpoint_result {
   std::uint64_t keys = 0;      ///< keys in the image
   std::uint64_t pruned_checkpoints = 0;
   std::uint64_t pruned_segments = 0;
+  double duration_us = 0.0;    ///< rotate -> prune, wall clock
 };
 
 namespace detail {
@@ -131,17 +134,21 @@ inline std::pair<std::uint64_t, std::uint64_t> prune_storage_dir(
 /// Take a checkpoint of `tree` (any container exposing for_each(fn) over
 /// ascending keys) against `log`.  `q_log2` is stamped into the image so a
 /// recovered tree is rebuilt with the same branching parameter.
+///
+/// Keys STREAM from for_each straight into the serializer
+/// (skiptree::key_stream_writer), so peak memory stays flat in the tree
+/// size -- a billion-key checkpoint buffers 64 KiB, not the whole vector.
+/// The tmp file is open across the iteration; a crash mid-stream leaves a
+/// torn .tmp, which recovery already deletes.
 template <typename T, typename Tree>
 checkpoint_result write_checkpoint(const Tree& tree, int q_log2, wal& log,
                                    std::size_t keep = 2) {
   LFST_T_SPAN(::lfst::trace::sid::storage_checkpoint);
   LFST_FP_POINT("storage.checkpoint.begin");
+  [[maybe_unused]] const std::uint64_t t0 = metrics::tsc_now();
+  const auto wall0 = std::chrono::steady_clock::now();
   checkpoint_result out;
   out.cp_lsn = log.rotate();
-
-  std::vector<T> keys;
-  tree.for_each([&](const T& k) { keys.push_back(k); });
-  out.keys = keys.size();
 
   const std::string& dir = log.directory();
   const std::filesystem::path final_path =
@@ -155,7 +162,10 @@ checkpoint_result write_checkpoint(const Tree& tree, int q_log2, wal& log,
                                tmp_path.string());
     }
     LFST_FP_POINT("storage.checkpoint.write");
-    skiptree::save_keys(std::span<const T>(keys), q_log2, f);
+    skiptree::key_stream_writer<T> writer(q_log2, f);
+    tree.for_each([&](const T& k) { writer.push(k); });
+    writer.finish();
+    out.keys = writer.count();
   }
   LFST_FP_POINT("storage.checkpoint.fsync");
   detail::fsync_path(tmp_path);
@@ -167,6 +177,11 @@ checkpoint_result write_checkpoint(const Tree& tree, int q_log2, wal& log,
   const auto [cps, segs] = prune_storage_dir(dir, keep);
   out.pruned_checkpoints = cps;
   out.pruned_segments = segs;
+  out.duration_us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - wall0)
+                        .count();
+  LFST_TEL_RECORD(::lfst::telemetry::skid::checkpoint,
+                  metrics::tsc_now() - t0);
   return out;
 }
 

@@ -68,8 +68,11 @@ class durable_tree {
                         durable_options opts = durable_options{})
       : opts_(opts) {
     recovery_result<T> rec = recover<T, Compare>(dir, /*repair=*/true);
-    recovered_ = rec_stats{rec.cp_lsn, rec.last_lsn, rec.replayed,
-                           rec.checkpoints_skipped, rec.torn_tail};
+    recovered_ = rec_stats{rec.cp_lsn,          rec.last_lsn,
+                           rec.replayed,        rec.checkpoints_skipped,
+                           rec.torn_tail,       rec.us_checkpoint_load,
+                           rec.us_replay,       rec.us_repair,
+                           rec.us_total};
     if (rec.q_log2 > 0) opts_.tree.q_log2 = rec.q_log2;
     tree_.emplace(
         tree_type::from_sorted(std::span<const T>(rec.keys), opts_.tree));
@@ -149,6 +152,11 @@ class durable_tree {
     std::uint64_t replayed = 0;
     std::uint64_t checkpoints_skipped = 0;
     bool torn_tail = false;
+    // Recovery phase timings (see recovery_result).
+    double us_checkpoint_load = 0.0;
+    double us_replay = 0.0;
+    double us_repair = 0.0;
+    double us_total = 0.0;
   };
   const rec_stats& recovery_stats() const noexcept { return recovered_; }
   wal_stats log_stats() const noexcept { return wal_->stats(); }
@@ -157,10 +165,16 @@ class durable_tree {
  private:
   void commit(wal_op op, const T& key) {
     static_assert(std::is_trivially_copyable_v<T>);
+    // The commit sketch spans append -> durable ack: what a caller
+    // actually waits for (group-commit parking included), not just the
+    // fsync syscall the WAL times separately.
+    [[maybe_unused]] const std::uint64_t t0 = metrics::tsc_now();
     const lsn_t lsn = wal_->append(op, &key, sizeof(T));
     if (opts_.wal.sync == fsync_policy::every_commit) {
       wal_->wait_durable(lsn);
     }
+    LFST_TEL_RECORD(::lfst::telemetry::skid::wal_commit,
+                    metrics::tsc_now() - t0);
   }
 
   void checkpointer_main() {

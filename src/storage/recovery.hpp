@@ -32,6 +32,7 @@
 // the result so callers can alert.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -59,6 +60,13 @@ struct recovery_result {
   std::uint64_t checkpoints_skipped = 0;  ///< invalid checkpoints passed over
   bool torn_tail = false;  ///< last segment ended in a torn/corrupt record
   bool empty_dir = false;  ///< nothing recovered; directory was fresh
+  // Phase timings (wall clock).  Recovery runs cold, before the telemetry
+  // plane has anything to sample, so the result carries them directly;
+  // durable_tree surfaces them in its recovery stats.
+  double us_checkpoint_load = 0.0;  ///< choose + validate + load the image
+  double us_replay = 0.0;           ///< scan segments, apply the tail
+  double us_repair = 0.0;           ///< truncate/delete damaged files
+  double us_total = 0.0;            ///< whole recover() call
 };
 
 /// Recover the durable key set from `dir`.  `Compare` must match the
@@ -72,6 +80,11 @@ recovery_result<T> recover(const std::string& dir, bool repair = true) {
   LFST_T_SPAN(::lfst::trace::sid::storage_replay);
   recovery_result<T> out;
   std::filesystem::create_directories(dir);
+  using clock = std::chrono::steady_clock;
+  const auto phase_us = [](clock::time_point a, clock::time_point b) {
+    return std::chrono::duration<double, std::micro>(b - a).count();
+  };
+  const auto t_start = clock::now();
 
   // --- choose the newest checkpoint that validates ------------------------
   auto cps = detail::list_checkpoints(dir);
@@ -90,6 +103,8 @@ recovery_result<T> recover(const std::string& dir, bool repair = true) {
     }
   }
   out.q_log2 = base.q_log2;
+  const auto t_loaded = clock::now();
+  out.us_checkpoint_load = phase_us(t_start, t_loaded);
 
   // --- replay the WAL tail ------------------------------------------------
   // std::map under Compare: replay must merge equivalent keys exactly the
@@ -174,6 +189,8 @@ recovery_result<T> recover(const std::string& dir, bool repair = true) {
   }
   out.keys = std::move(base.keys);
   out.empty_dir = out.cp_lsn == 0 && out.replayed == 0 && segs.empty();
+  const auto t_replayed = clock::now();
+  out.us_replay = phase_us(t_loaded, t_replayed);
 
   // --- repair -------------------------------------------------------------
   if (repair) {
@@ -191,6 +208,9 @@ recovery_result<T> recover(const std::string& dir, bool repair = true) {
       fsync_directory(dir);
     }
   }
+  const auto t_end = clock::now();
+  out.us_repair = phase_us(t_replayed, t_end);
+  out.us_total = phase_us(t_start, t_end);
   return out;
 }
 

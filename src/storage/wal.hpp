@@ -73,6 +73,7 @@
 #include "common/crc32c.hpp"
 #include "common/failpoint.hpp"
 #include "common/metrics.hpp"
+#include "common/telemetry.hpp"
 #include "common/trace.hpp"
 
 namespace lfst::storage {
@@ -186,6 +187,25 @@ class wal {
     std::lock_guard<std::mutex> g(io_mu_);
     open_segment_locked(next_lsn);
     flusher_ = std::thread([this] { flusher_main(); });
+#if defined(LFST_TELEMETRY)
+    // Publish the flusher gauges into the telemetry plane.  Columns are
+    // append-only by name, so per-trial WAL instances (benches) reuse the
+    // same schema slots.  The source reads atomics only -- safe against
+    // concurrent close().
+    tel_source_ = telemetry::scoped_source(
+        "storage.wal",
+        {"lag_records", "durable_lsn", "appends", "fsyncs", "rotations"},
+        [this](double* v) {
+          const wal_stats s = stats();
+          v[0] = static_cast<double>(s.last_assigned > s.durable
+                                         ? s.last_assigned - s.durable
+                                         : 0);
+          v[1] = static_cast<double>(s.durable);
+          v[2] = static_cast<double>(s.appends);
+          v[3] = static_cast<double>(s.fsyncs);
+          v[4] = static_cast<double>(s.rotations);
+        });
+#endif
   }
 
   wal(const wal&) = delete;
@@ -297,6 +317,14 @@ class wal {
   }
   lsn_t durable() const noexcept {
     return durable_lsn_.load(std::memory_order_acquire);
+  }
+  /// Flusher lag: records granted an LSN but not yet hardened by fsync.
+  /// Zero the moment the WAL is fully durable; the telemetry plane samples
+  /// it as storage.wal.lag_records.
+  lsn_t flush_lag() const noexcept {
+    const lsn_t assigned = last_assigned();
+    const lsn_t dur = durable();
+    return assigned > dur ? assigned - dur : 0;
   }
   /// Monotone count of encoded bytes appended (the checkpoint trigger).
   std::uint64_t bytes_appended() const noexcept {
@@ -488,8 +516,11 @@ class wal {
     LFST_FP_POINT("storage.wal.fsync");
     [[maybe_unused]] const std::uint64_t t0 = metrics::tsc_now();
     ::fsync(::fileno(file_));
-    LFST_M_HIST(::lfst::metrics::hid::storage_fsync_ticks,
-                metrics::tsc_now() - t0);
+    [[maybe_unused]] const std::uint64_t dt = metrics::tsc_now() - t0;
+    // Low-rate path: the telemetry sketches record every fsync unsampled.
+    LFST_TEL_RECORD(::lfst::telemetry::skid::wal_fsync, dt);
+    LFST_TEL_RECORD(::lfst::telemetry::skid::wal_batch, unsynced_records_);
+    LFST_M_HIST(::lfst::metrics::hid::storage_fsync_ticks, dt);
     LFST_M_HIST(::lfst::metrics::hid::storage_commit_batch,
                 unsynced_records_);
     LFST_M_COUNT(::lfst::metrics::cid::storage_wal_fsyncs);
@@ -557,6 +588,12 @@ class wal {
   std::atomic<std::uint64_t> bytes_appended_{0};
   std::atomic<std::uint64_t> fsyncs_{0};
   std::atomic<std::uint64_t> rotations_{0};
+
+#if defined(LFST_TELEMETRY)
+  // Last member on purpose: destroyed first, so the aggregator can no
+  // longer call our fill lambda while the rest of the WAL tears down.
+  telemetry::scoped_source tel_source_;
+#endif
 };
 
 // --- segment replay ----------------------------------------------------------

@@ -1,0 +1,201 @@
+// Accuracy and concurrency tests for the log-bucketed quantile sketch.
+//
+// The sketch's whole contract is a bounded RELATIVE error (midpoint of a
+// bucket whose width is <= lo/16, so <= 1/32 off), so the accuracy tests
+// compare sketch quantiles against exact sorted-order quantiles on streams
+// chosen to stress different bucket regions: uniform (spreads across
+// octaves), zipf-like (hammers the exact low buckets), and adversarial
+// shapes (all-equal, bimodal with a 9-decade gap, exact powers of two
+// sitting on bucket boundaries).
+#include "common/qsketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lfst::telemetry {
+namespace {
+
+// Exact q-quantile with the same rank convention the sketch uses:
+// the rank-floor(q * (count - 1)) element of the sorted stream.
+std::uint64_t exact_quantile(std::vector<std::uint64_t> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto rank =
+      static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+  return v[rank];
+}
+
+// Relative-error assertion.  The per-bucket midpoint bound is 1/32; allow
+// 1/16 end to end because the exact answer and the sketch answer may pick
+// ranks one apart when duplicates straddle a bucket edge.
+void expect_close(double got, std::uint64_t want, const char* what) {
+  const double w = static_cast<double>(want);
+  const double tol = std::max(1.0, w / 16.0);
+  EXPECT_NEAR(got, w, tol) << what << ": sketch " << got << " vs exact "
+                           << want;
+}
+
+void check_stream(const std::vector<std::uint64_t>& stream) {
+  qsketch sk;
+  for (const auto v : stream) sk.record(v);
+  const qsketch_snapshot s = sk.snapshot();
+  ASSERT_EQ(s.count, stream.size());
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    expect_close(s.quantile(q), exact_quantile(stream, q), "quantile");
+  }
+  EXPECT_EQ(s.max, *std::max_element(stream.begin(), stream.end()));
+  double mean = 0.0;
+  for (const auto v : stream) mean += static_cast<double>(v);
+  mean /= static_cast<double>(stream.size());
+  EXPECT_NEAR(s.mean(), mean, std::max(1.0, mean * 1e-9));
+}
+
+TEST(QSketch, BucketGeometryIsConsistent) {
+  // Every value lands in a bucket that actually contains it, and bucket
+  // index is monotone in the value (sweep exhaustively where cheap, then
+  // by octave up to 2^63).
+  auto check = [](std::uint64_t v) {
+    const int idx = qsketch_snapshot::bucket_index(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, qsketch_snapshot::kBucketCount);
+    const std::uint64_t lo = qsketch_snapshot::bucket_lo(idx);
+    const std::uint64_t w = qsketch_snapshot::bucket_width(idx);
+    EXPECT_GE(v, lo) << "value " << v << " below its bucket " << idx;
+    EXPECT_LT(v - lo, w) << "value " << v << " past its bucket " << idx;
+  };
+  for (std::uint64_t v = 0; v < 4096; ++v) check(v);
+  for (int e = 12; e < 64; ++e) {
+    const std::uint64_t base = std::uint64_t{1} << e;
+    for (const std::uint64_t v :
+         {base, base + 1, base + base / 3, base + base / 2,
+          base + base - 1}) {
+      check(v);
+    }
+  }
+  // Monotone: index never decreases as values grow.
+  int prev = -1;
+  for (std::uint64_t v = 0; v < 100000; v += 7) {
+    const int idx = qsketch_snapshot::bucket_index(v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(QSketch, ExactBelowSixteen) {
+  // The sub-16 region is one bucket per integer: quantiles are exact.
+  qsketch sk;
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    for (int i = 0; i < 10; ++i) sk.record(v);
+  }
+  const qsketch_snapshot s = sk.snapshot();
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 15.0);
+  // Median of 160 values (10 of each of 0..15): rank 79 -> value 7.
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 7.0);
+}
+
+TEST(QSketch, UniformStream) {
+  splitmix64 rng(0xface);
+  std::vector<std::uint64_t> stream;
+  for (int i = 0; i < 200000; ++i) stream.push_back(rng.next() % 1000000);
+  check_stream(stream);
+}
+
+TEST(QSketch, ZipfLikeStream) {
+  // 1/rank-ish mass: most values tiny (exact buckets), a long tail into
+  // the log-spaced region -- the shape of real op latencies.
+  splitmix64 rng(0xbeef);
+  std::vector<std::uint64_t> stream;
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t u = rng.next() % 1000000 + 1;
+    stream.push_back(1000000 / u);  // p(v >= k) ~ 1/k
+  }
+  check_stream(stream);
+}
+
+TEST(QSketch, AdversarialStreams) {
+  // All equal: every quantile must be (nearly) that value.
+  check_stream(std::vector<std::uint64_t>(5000, 777));
+
+  // Bimodal with a 9-decade gap: quantiles must snap to one mode, never
+  // average across the gap.
+  std::vector<std::uint64_t> bimodal;
+  for (int i = 0; i < 900; ++i) bimodal.push_back(1);
+  for (int i = 0; i < 100; ++i) bimodal.push_back(1000000000ull);
+  check_stream(bimodal);
+  qsketch sk;
+  for (const auto v : bimodal) sk.record(v);
+  const auto s = sk.snapshot();
+  EXPECT_LT(s.quantile(0.5), 2.0);
+  EXPECT_GT(s.quantile(0.95), 9e8);
+
+  // Exact powers of two land on bucket lower bounds -- the worst case for
+  // any off-by-one in the index math.
+  std::vector<std::uint64_t> pows;
+  for (int e = 0; e < 40; ++e) {
+    for (int i = 0; i < 50; ++i) pows.push_back(std::uint64_t{1} << e);
+  }
+  check_stream(pows);
+}
+
+TEST(QSketch, MergeAcrossSnapshots) {
+  qsketch a, b;
+  std::vector<std::uint64_t> all;
+  splitmix64 rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t v = rng.next() % 100000;
+    all.push_back(v);
+    (i % 2 ? a : b).record(v);
+  }
+  qsketch_snapshot m = a.snapshot();
+  m.merge(b.snapshot());
+  ASSERT_EQ(m.count, all.size());
+  for (const double q : {0.5, 0.99}) {
+    expect_close(m.quantile(q), exact_quantile(all, q), "merged quantile");
+  }
+  EXPECT_EQ(m.max, *std::max_element(all.begin(), all.end()));
+}
+
+TEST(QSketch, ConcurrentWritersLoseNothing) {
+  // 8 threads x 100k records into one sketch; relaxed shards must still
+  // account for every single record (fetch_add never loses updates).
+  qsketch sk;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPer = 100000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&sk, t] {
+      splitmix64 rng(static_cast<std::uint64_t>(t) * 977 + 1);
+      for (std::uint64_t i = 0; i < kPer; ++i) {
+        sk.record(rng.next() % 65536);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const qsketch_snapshot s = sk.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPer);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kThreads * kPer);
+  EXPECT_LT(s.max, 65536u);
+}
+
+TEST(QSketch, ResetZeroesEverything) {
+  qsketch sk;
+  for (int i = 0; i < 1000; ++i) sk.record(static_cast<std::uint64_t>(i));
+  sk.reset();
+  const qsketch_snapshot s = sk.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace lfst::telemetry

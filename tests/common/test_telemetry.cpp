@@ -1,0 +1,269 @@
+// Tests for the always-on telemetry plane: sketches, gauge sources, the
+// snapshot ring, exporters, the background aggregator, and the sampled op
+// timer.  The plane is a process-wide singleton whose schema is append-only
+// by design, so tests assert containment (my series is there with my value)
+// rather than exact schema shapes, and reset() the sketch/ring state at
+// each test head.
+#include "common/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lfst::telemetry {
+namespace {
+
+// Column index of `name` in the current schema, or npos.
+std::size_t column_of(const std::string& name) {
+  const std::vector<std::string> names = plane::instance().series_names();
+  const auto it = std::find(names.begin(), names.end(), name);
+  return it == names.end() ? std::string::npos
+                           : static_cast<std::size_t>(it - names.begin());
+}
+
+TEST(Telemetry, SketchRecordAndSnapshot) {
+  auto& p = plane::instance();
+  p.reset();
+  for (int i = 1; i <= 100; ++i) {
+    p.record(skid::op_add, static_cast<std::uint64_t>(i));
+  }
+  const qsketch_snapshot s = p.sketch(skid::op_add);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 4.0);
+  p.reset();
+  EXPECT_EQ(p.sketch(skid::op_add).count, 0u);
+}
+
+TEST(Telemetry, TicksPerUsIsCalibratedAndPositive) {
+  const double tpu = plane::instance().ticks_per_us();
+  EXPECT_GT(tpu, 0.0);
+  EXPECT_TRUE(std::isfinite(tpu));
+}
+
+TEST(Telemetry, SchemaHasSketchColumnsUpFront) {
+  const std::vector<std::string> names = plane::instance().series_names();
+  ASSERT_GE(names.size(), 6 * kSketchCount);
+  EXPECT_EQ(names[0], "op.add.p50_us");
+  EXPECT_NE(column_of("op.contains.p99_us"), std::string::npos);
+  EXPECT_NE(column_of("storage.wal.commit.count"), std::string::npos);
+  // The batch sketch is a raw size, not a time: no _us suffix.
+  EXPECT_NE(column_of("storage.wal.batch.p99"), std::string::npos);
+  EXPECT_EQ(column_of("storage.wal.batch.p99_us"), std::string::npos);
+}
+
+TEST(Telemetry, GaugeSourceFlowsIntoSamplesAndJson) {
+  auto& p = plane::instance();
+  p.reset();
+  {
+    scoped_source src("test.flow", {"alpha", "beta"}, [](double* v) {
+      v[0] = 1.5;
+      v[1] = 42.0;
+    });
+    p.snapshot_now();
+    const auto samples = p.read_samples();
+    ASSERT_FALSE(samples.empty());
+    const auto& last = samples.back();
+    const std::size_t ca = column_of("test.flow.alpha");
+    const std::size_t cb = column_of("test.flow.beta");
+    ASSERT_NE(ca, std::string::npos);
+    ASSERT_NE(cb, std::string::npos);
+    EXPECT_DOUBLE_EQ(last.values[ca], 1.5);
+    EXPECT_DOUBLE_EQ(last.values[cb], 42.0);
+
+    const std::string json = p.to_json_lines();
+    EXPECT_NE(json.find("\"test.flow.alpha\":1.5"), std::string::npos);
+    EXPECT_NE(json.find("\"test.flow.beta\":42"), std::string::npos);
+  }
+  // Source gone: the next sample leaves the columns NaN, and NaN columns
+  // are dropped from the JSON (still present in the schema line).
+  p.reset();
+  p.snapshot_now();
+  const auto samples = p.read_samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_TRUE(std::isnan(samples.back().values[column_of("test.flow.alpha")]));
+  const std::string json = p.to_json_lines();
+  EXPECT_EQ(json.find("\"test.flow.alpha\":"), std::string::npos);
+}
+
+TEST(Telemetry, JsonLinesStructure) {
+  auto& p = plane::instance();
+  p.reset();
+  p.record(skid::wal_fsync, 12345);
+  p.snapshot_now();
+  const std::string json = p.to_json_lines();
+
+  std::istringstream is(json);
+  std::string line;
+  int schema = 0, sample = 0, sketch = 0;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"type\":\"telemetry_schema\"") != std::string::npos) {
+      ++schema;
+      EXPECT_NE(line.find("\"ticks_per_us\":"), std::string::npos);
+      EXPECT_NE(line.find("\"sample_stride\":"), std::string::npos);
+      EXPECT_NE(line.find("\"op.add.p50_us\""), std::string::npos);
+    } else if (line.find("\"type\":\"telemetry_sample\"") !=
+               std::string::npos) {
+      ++sample;
+      EXPECT_NE(line.find("\"seq\":"), std::string::npos);
+      EXPECT_NE(line.find("\"t_ms\":"), std::string::npos);
+      EXPECT_NE(line.find("\"values\":{"), std::string::npos);
+    } else if (line.find("\"type\":\"sketch\"") != std::string::npos) {
+      ++sketch;
+    }
+  }
+  EXPECT_EQ(schema, 1);
+  EXPECT_GE(sample, 1);
+  EXPECT_EQ(sketch, static_cast<int>(kSketchCount));
+  // The fsync record shows up in its sketch summary with count 1.
+  EXPECT_NE(
+      json.find("\"name\":\"storage.wal.fsync\",\"count\":1"),
+      std::string::npos);
+}
+
+TEST(Telemetry, PrometheusExposition) {
+  auto& p = plane::instance();
+  p.reset();
+  p.record(skid::wal_batch, 8);  // raw-unit sketch: family has no _us
+  p.snapshot_now();
+  const std::string text = p.to_prometheus();
+  EXPECT_NE(text.find("# TYPE lfst_op_add_us summary"), std::string::npos);
+  EXPECT_NE(text.find("lfst_op_add_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lfst_op_add_us_count"), std::string::npos);
+  EXPECT_NE(text.find("lfst_op_add_us_sum"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lfst_storage_wal_batch summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("lfst_storage_wal_batch_count 1"), std::string::npos);
+  // Latest-sample gauges: sketch count columns are never NaN.
+  EXPECT_NE(text.find("# TYPE lfst_op_add_count gauge"), std::string::npos);
+}
+
+TEST(Telemetry, AggregatorTakesPeriodicSamples) {
+  auto& p = plane::instance();
+  p.reset();
+  p.start(std::chrono::milliseconds(5));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (p.samples_taken() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  p.stop();
+  EXPECT_GE(p.samples_taken(), 3u);
+  const auto samples = p.read_samples();
+  ASSERT_GE(samples.size(), 3u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].sample_no, samples[i - 1].sample_no + 1);
+    EXPECT_GE(samples[i].wall_ms, samples[i - 1].wall_ms);
+  }
+  // Idempotent stop, restartable start.
+  p.stop();
+  p.start(std::chrono::milliseconds(5));
+  p.stop();
+}
+
+TEST(Telemetry, RingKeepsOnlyLastCapacitySamples) {
+  auto& p = plane::instance();
+  p.reset();
+  const std::size_t n = plane::kRingCapacity + 40;
+  for (std::size_t i = 0; i < n; ++i) p.snapshot_now();
+  const auto samples = p.read_samples();
+  ASSERT_EQ(samples.size(), plane::kRingCapacity);
+  EXPECT_EQ(samples.front().sample_no, n - plane::kRingCapacity);
+  EXPECT_EQ(samples.back().sample_no, n - 1);
+}
+
+TEST(Telemetry, ConcurrentReadersSeeConsistentSlots) {
+  auto& p = plane::instance();
+  p.reset();
+  std::atomic<bool> go{true};
+  // A gauge source whose two columns are written as a matched pair; a
+  // torn slot read would show them unequal.
+  scoped_source src("test.pair", {"x", "y"}, [](double* v) {
+    static double tick = 0.0;
+    tick += 1.0;
+    v[0] = tick;
+    v[1] = tick;
+  });
+  const std::size_t cx = column_of("test.pair.x");
+  const std::size_t cy = column_of("test.pair.y");
+  p.snapshot_now();  // seed: the ring is never empty from here on
+  std::thread writer([&] {
+    while (go.load(std::memory_order_relaxed)) p.snapshot_now();
+  });
+  // Concurrent reads: a spinning writer may lap the oldest-first scan and
+  // legitimately drop every slot, so the racing phase only asserts that
+  // whatever DID survive the seqlock is pair-consistent.  Pace on
+  // samples_taken() so the writer demonstrably ran before we stop it.
+  std::uint64_t checked = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (p.samples_taken() < 500 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (const auto& s : p.read_samples()) {
+      if (std::isnan(s.values[cx])) continue;
+      EXPECT_DOUBLE_EQ(s.values[cx], s.values[cy])
+          << "torn seqlock read at sample " << s.sample_no;
+      ++checked;
+    }
+  }
+  go.store(false, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_GE(p.samples_taken(), 500u);
+  // Quiescent read: nothing can lap us now, so the ring's full contents
+  // must come back, every slot pair-consistent.
+  for (const auto& s : p.read_samples()) {
+    ASSERT_FALSE(std::isnan(s.values[cx]));
+    EXPECT_DOUBLE_EQ(s.values[cx], s.values[cy]);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Telemetry, OpTimerRecordsFromFreshThread) {
+  // The per-thread countdown starts at 1, so a brand-new thread's first op
+  // is always sampled regardless of the stride.
+  auto& p = plane::instance();
+  p.reset();
+  const std::uint64_t before = p.sketch(skid::op_contains).count;
+  std::thread([&] {
+    op_timer t(skid::op_contains);
+    (void)t;
+  }).join();
+  const qsketch_snapshot s = p.sketch(skid::op_contains);
+  EXPECT_EQ(s.count, before + 1);
+}
+
+TEST(Telemetry, SampleStrideIsClampedAndCached) {
+  const unsigned s = sample_stride();
+  EXPECT_GE(s, 1u);
+  EXPECT_LE(s, 1u << 20);
+}
+
+TEST(Telemetry, ScopedSourceMoveTransfersOwnership) {
+  auto& p = plane::instance();
+  p.reset();
+  scoped_source a("test.move", {"v"}, [](double* v) { v[0] = 7.0; });
+  scoped_source b(std::move(a));
+  scoped_source c;
+  c = std::move(b);
+  p.snapshot_now();
+  const auto samples = p.read_samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_DOUBLE_EQ(samples.back().values[column_of("test.move.v")], 7.0);
+  // a and b are empty shells now; their destruction must not unregister c.
+}
+
+}  // namespace
+}  // namespace lfst::telemetry

@@ -1,0 +1,152 @@
+// CAS-contention heatmap tests, including the attribution invariant the
+// whole feature hangs on: the heatmap's grand total must equal the tree's
+// cas_failures counter EXACTLY, in any schedule, because both are bumped
+// from the same three call sites (tree_core::bump_cas_failure) and nowhere
+// else.  Note the tests do NOT assert failures > 0 under contention -- on
+// an oversubscribed single core lost CASes are legitimately near zero
+// (threads are rarely preempted inside the read-CAS window); equality must
+// hold either way.
+#include "skiptree/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "skiptree/skip_tree.hpp"
+
+namespace lfst::skiptree {
+namespace {
+
+TEST(CasHeatmap, BucketOfIsStableAndInRange) {
+  int dummy[16] = {};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 16; ++i) {
+    const std::size_t b = cas_heatmap::bucket_of(&dummy[i]);
+    EXPECT_LT(b, static_cast<std::size_t>(cas_heatmap::kBuckets));
+    EXPECT_EQ(b, cas_heatmap::bucket_of(&dummy[i]));  // deterministic
+    seen.insert(b);
+  }
+  // 16-byte-apart addresses (consecutive arena nodes) must not all
+  // collapse into one bucket.
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(CasHeatmap, RecordAccumulatesPerLevelAndBucket) {
+  cas_heatmap hm;
+  alignas(16) int node_a = 0;
+  alignas(16) int node_b = 0;
+  for (int i = 0; i < 5; ++i) hm.record(0, &node_a);
+  for (int i = 0; i < 3; ++i) hm.record(2, &node_b);
+  const heatmap_snapshot s = hm.snapshot();
+  EXPECT_EQ(s.level_total(0), 5u);
+  EXPECT_EQ(s.level_total(2), 3u);
+  EXPECT_EQ(s.level_total(1), 0u);
+  EXPECT_EQ(s.total(), 8u);
+  EXPECT_EQ(s.hottest_level(), 0);
+  EXPECT_EQ(s.cells[0][cas_heatmap::bucket_of(&node_a)], 5u);
+  EXPECT_EQ(s.cells[2][cas_heatmap::bucket_of(&node_b)], 3u);
+}
+
+TEST(CasHeatmap, RecordClampsOutOfRangeLevels) {
+  cas_heatmap hm;
+  int node = 0;
+  hm.record(-5, &node);
+  hm.record(cas_heatmap::kLevels + 10, &node);
+  const heatmap_snapshot s = hm.snapshot();
+  EXPECT_EQ(s.level_total(0), 1u);
+  EXPECT_EQ(s.level_total(cas_heatmap::kLevels - 1), 1u);
+  EXPECT_EQ(s.total(), 2u);
+}
+
+TEST(CasHeatmap, ConcurrentRecordsLoseNothing) {
+  cas_heatmap hm;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPer = 50000;
+  std::vector<std::thread> ts;
+  alignas(16) static int nodes[32];
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&hm, t] {
+      for (std::uint64_t i = 0; i < kPer; ++i) {
+        hm.record(static_cast<int>(i % 4), &nodes[(i + t) % 32]);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(hm.snapshot().total(), kThreads * kPer);
+}
+
+TEST(CasHeatmap, ToJsonEmitsOnlyNonEmptyLevels) {
+  cas_heatmap hm;
+  alignas(16) int node = 0;
+  hm.record(1, &node);
+  hm.record(1, &node);
+  hm.record(4, &node);
+  const std::string json =
+      hm.snapshot().to_json("test.map", "\"threads\":2");
+  EXPECT_NE(json.find("\"type\":\"heatmap\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.map\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"level\":1,\"total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"level\":4,\"total\":1"), std::string::npos);
+  EXPECT_EQ(json.find("\"level\":0"), std::string::npos);
+  EXPECT_EQ(json.find("\"level\":2"), std::string::npos);
+}
+
+TEST(CasHeatmap, EmptyTreeHasEmptyHeatmap) {
+  skip_tree<long> tree;
+  const heatmap_snapshot s = tree.contention_heatmap();
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_EQ(tree.stats().cas_failures, 0u);
+}
+
+TEST(CasHeatmap, SingleThreadTotalsMatchCounterExactly) {
+  // Single-threaded runs can still lose CASes?  No -- but the invariant is
+  // equality, and single-threaded both sides must be zero.
+  skip_tree<long> tree;
+  for (long i = 0; i < 20000; ++i) tree.add(i * 3);
+  for (long i = 0; i < 20000; i += 2) tree.remove(i * 3);
+  for (long i = 0; i < 20000; ++i) tree.contains(i);
+  EXPECT_EQ(tree.contention_heatmap().total(), tree.stats().cas_failures);
+  EXPECT_EQ(tree.contention_heatmap().total(), 0u);
+}
+
+TEST(CasHeatmap, ContendedTotalsMatchCounterExactly) {
+  // Writers hammering a tiny key range maximize payload-CAS collisions.
+  // Whatever the schedule produced, the heatmap must account for every
+  // single failure the counter saw -- exact equality, quiescent reads.
+  skip_tree<long> tree;
+  constexpr int kThreads = 8;
+  constexpr long kRange = 128;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&tree, t] {
+      std::uint64_t x = static_cast<std::uint64_t>(t) + 1;
+      for (int i = 0; i < 30000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const long k = static_cast<long>(x % kRange);
+        if (x & (1ull << 32)) {
+          tree.add(k);
+        } else {
+          tree.remove(k);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const heatmap_snapshot s = tree.contention_heatmap();
+  EXPECT_EQ(s.total(), tree.stats().cas_failures)
+      << "heatmap missed or double-counted a CAS-failure site";
+  // If anything was recorded, it must be attributed to real levels.
+  if (s.total() > 0) {
+    EXPECT_GE(s.hottest_level(), 0);
+    EXPECT_LT(s.hottest_level(), heatmap_snapshot::kLevels);
+  }
+}
+
+}  // namespace
+}  // namespace lfst::skiptree

@@ -47,6 +47,57 @@ TEST(SerializeV2, CrcKnownAnswer) {
   EXPECT_EQ(crc::crc32c_of("123456789", 9), 0xE3069283u);
 }
 
+// crc32c_combine(crc(A), crc(B), |B|) must equal crc(A||B) for every split
+// point -- the identity that lets the streaming checkpoint writer checksum
+// header and key stream separately and still emit the one-shot CRC.
+TEST(SerializeV2, CrcCombineMatchesOneShotAtEverySplit) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  for (int i = 0; i < 64; ++i) data += static_cast<char>(i * 37 + 1);
+  const std::uint32_t whole = crc::crc32c_of(data.data(), data.size());
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    const std::uint32_t a = crc::crc32c_of(data.data(), cut);
+    const std::uint32_t b =
+        crc::crc32c_of(data.data() + cut, data.size() - cut);
+    EXPECT_EQ(crc::crc32c_combine(a, b, data.size() - cut), whole)
+        << "split at " << cut;
+  }
+}
+
+TEST(SerializeV2, CrcCombineEmptySuffixIsIdentity) {
+  const std::uint32_t a = crc::crc32c_of("abcdef", 6);
+  EXPECT_EQ(crc::crc32c_combine(a, 0u, 0), a);
+  EXPECT_EQ(crc::crc32c_combine(a, 0xDEADBEEFu, 0), a);
+}
+
+// The streaming writer must produce a byte-identical image to the
+// materializing save_keys -- same header, same count patch, same combined
+// CRC -- at every size class (empty, sub-buffer, multi-buffer).
+TEST(SerializeV2, StreamWriterMatchesSaveKeysByteForByte) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                              std::size_t{100}, std::size_t{8191},
+                              std::size_t{8192}, std::size_t{30000}}) {
+    std::vector<long> keys;
+    for (std::size_t i = 0; i < n; ++i) {
+      keys.push_back(static_cast<long>(i * 11));
+    }
+    std::ostringstream batch(std::ios::binary);
+    save_keys(std::span<const long>(keys), /*q_log2=*/5, batch);
+
+    std::ostringstream streamed(std::ios::binary);
+    key_stream_writer<long> w(/*q_log2=*/5, streamed);
+    for (const long k : keys) w.push(k);
+    w.finish();
+
+    EXPECT_EQ(w.count(), n);
+    ASSERT_EQ(streamed.str(), batch.str()) << "n=" << n;
+
+    std::istringstream is(streamed.str(), std::ios::binary);
+    const loaded_keys<long> lk = load_keys<long>(is);
+    EXPECT_EQ(lk.q_log2, 5);
+    EXPECT_EQ(lk.keys, keys);
+  }
+}
+
 // Truncation at EVERY prefix length must throw -- mid-magic, mid-header,
 // mid-key-stream, mid-checksum.  (The image is small enough to sweep all
 // offsets exhaustively.)

@@ -149,6 +149,87 @@ TEST_F(RecoveryTest, CheckpointBoundsReplay) {
   EXPECT_EQ(rec.q_log2, 4);
 }
 
+TEST_F(RecoveryTest, CheckpointDurationIsPopulated) {
+  wal log(dir_, 1);
+  key_list live;
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    log.append(wal_op::add, &i, sizeof(i));
+    live.keys.push_back(i);
+  }
+  const checkpoint_result cp = write_checkpoint<std::uint64_t>(live, 4, log);
+  EXPECT_GT(cp.duration_us, 0.0);
+  log.close();
+}
+
+TEST_F(RecoveryTest, RecoveryPhaseTimingsArePopulated) {
+  wal log(dir_, 1);
+  key_list live;
+  for (std::uint64_t i = 1; i <= 500; ++i) {
+    log.append(wal_op::add, &i, sizeof(i));
+    live.keys.push_back(i);
+  }
+  write_checkpoint<std::uint64_t>(live, 4, log);
+  for (std::uint64_t i = 501; i <= 800; ++i) {
+    log.append(wal_op::add, &i, sizeof(i));
+  }
+  log.close();
+
+  const auto rec = recover<std::uint64_t>(dir_, /*repair=*/true);
+  ASSERT_EQ(rec.keys.size(), 800u);
+  // A real checkpoint load and a real 300-record replay both take
+  // nonzero wall time; repair may legitimately round to ~0.
+  EXPECT_GT(rec.us_checkpoint_load, 0.0);
+  EXPECT_GT(rec.us_replay, 0.0);
+  EXPECT_GE(rec.us_repair, 0.0);
+  EXPECT_GE(rec.us_total,
+            rec.us_checkpoint_load + rec.us_replay + rec.us_repair - 1.0);
+}
+
+/// A for_each source that materializes nothing: keys are generated on the
+/// fly, so any memory growth during write_checkpoint is the writer's own.
+struct synthetic_keys {
+  std::uint64_t n;
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint64_t i = 1; i <= n; ++i) fn(i);
+  }
+};
+
+/// Peak resident set (VmHWM) in bytes, or 0 if /proc is unreadable.
+std::size_t peak_rss_bytes() {
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(
+                 std::stoull(line.substr(6))) << 10;  // kB -> bytes
+    }
+  }
+  return 0;
+}
+
+TEST_F(RecoveryTest, StreamingCheckpointKeepsPeakMemoryFlat) {
+  // 3M uint64 keys = 24 MiB of payload.  The streaming writer never holds
+  // more than its 64 KiB buffer, so peak RSS must not move by anything
+  // like the key volume; the old materialize-then-save path would grow it
+  // by >= 24 MiB.  The 8 MiB allowance absorbs allocator slop and stdio
+  // buffers while staying far below the materialization signature.
+  const std::size_t before = peak_rss_bytes();
+  if (before == 0) GTEST_SKIP() << "/proc/self/status not readable";
+
+  wal log(dir_, 1);
+  const synthetic_keys live{3'000'000};
+  const checkpoint_result cp =
+      write_checkpoint<std::uint64_t>(live, 4, log);
+  log.close();
+  EXPECT_EQ(cp.keys, live.n);
+
+  const std::size_t after = peak_rss_bytes();
+  EXPECT_LT(after - before, std::size_t{8} << 20)
+      << "checkpoint write grew peak RSS by " << ((after - before) >> 20)
+      << " MiB -- is the writer materializing the key set?";
+}
+
 TEST_F(RecoveryTest, PruneKeepsTwoCheckpointsAndLiveSegments) {
   wal log(dir_, 1);
   key_list live;

@@ -267,6 +267,53 @@ TEST_F(WalTest, RotateUnderConcurrentAppends) {
   EXPECT_EQ(expect, kThreads * kPerThread + 1);
 }
 
+TEST_F(WalTest, FlushLagTracksUndurableRecords) {
+  // Under fsync_policy::none the flusher writes but never fsyncs, so the
+  // lag gauge climbs deterministically with appends and collapses to zero
+  // the moment flush() hardens the log.
+  wal_options o;
+  o.sync = fsync_policy::none;
+  wal log(dir_, 1, o);
+  EXPECT_EQ(log.flush_lag(), 0u);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    log.append(wal_op::add, &i, sizeof(i));
+    EXPECT_EQ(log.flush_lag(), i);
+  }
+  log.flush();
+  EXPECT_EQ(log.flush_lag(), 0u);
+  EXPECT_EQ(log.durable(), 5u);
+  log.close();
+  EXPECT_EQ(log.flush_lag(), 0u);
+}
+
+#if defined(LFST_TELEMETRY)
+TEST_F(WalTest, FsyncAndBatchSketchesRecord) {
+  // Each sync_locked() feeds two sketches: the fsync latency and the
+  // batch size (records hardened by that fsync).  flush() after 3 appends
+  // must add at least one observation to each.
+  auto& p = lfst::telemetry::plane::instance();
+  const auto fsync_before =
+      p.sketch(lfst::telemetry::skid::wal_fsync).count;
+  const auto batch_before =
+      p.sketch(lfst::telemetry::skid::wal_batch).count;
+  {
+    wal_options o;
+    o.sync = fsync_policy::none;  // all hardening happens in flush()
+    wal log(dir_, 1, o);
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+      log.append(wal_op::add, &i, sizeof(i));
+    }
+    log.flush();
+    log.close();
+  }
+  EXPECT_GT(p.sketch(lfst::telemetry::skid::wal_fsync).count,
+            fsync_before);
+  const auto batch = p.sketch(lfst::telemetry::skid::wal_batch);
+  EXPECT_GT(batch.count, batch_before);
+  EXPECT_GE(batch.max, 3u);  // the flush hardened all three at once
+}
+#endif  // LFST_TELEMETRY
+
 TEST_F(WalTest, StatsCount) {
   wal log(dir_, 1);
   const std::uint64_t k = 9;

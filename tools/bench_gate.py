@@ -46,6 +46,13 @@ value: `--require-under ebr.limbo_bytes_hwm=1048576` fails the gate if
 retired memory ever piled past 1 MiB, which is how CI keeps the
 stall-tolerant reclamation cap honest on real workloads.
 
+Telemetry sidecars (--telemetry-json, common/telemetry.hpp) are accepted
+by the same flag: every numeric field of a "sketch" summary line expands
+to a synthetic gauge named {sketch}.{field}, so latency quantiles gate
+exactly like counters -- `--require op.add.count` proves the add path
+was sampled, and `--require-under op.contains.p99_us=20000` fails the
+build when sampled contains latency blows past 20 ms at p99.
+
 Exit status: 0 clean, 1 regression/check failure (or self-test logic
 failure), 2 usage.
 """
@@ -55,8 +62,10 @@ import copy
 import io
 import json
 import math
+import os
 import statistics
 import sys
+import tempfile
 
 
 def load(path):
@@ -136,9 +145,12 @@ def diff(base, cand, threshold, noise_sigma, normalize, out=sys.stdout):
 
 
 def load_metrics(path):
-    """Parse a JSON-lines metrics sidecar into {name: record}.
+    """Parse a JSON-lines metrics/telemetry sidecar into {name: record}.
 
     Counters and gauges carry "value"; histograms carry "count"/"sum".
+    Telemetry "sketch" summaries expand into one synthetic gauge per
+    numeric field, named {sketch}.{field} (op.add.p99_us, op.add.count,
+    storage.wal.batch.p99, ...), so quantiles gate like any metric.
     Later lines win on a name collision (a process that dumps twice
     leaves its final snapshot last).
     """
@@ -151,8 +163,20 @@ def load_metrics(path):
                 continue
             rec = json.loads(line)
             total += 1
-            if rec.get("type") in ("counter", "histogram", "gauge"):
+            kind = rec.get("type")
+            if kind in ("counter", "histogram", "gauge"):
                 by_name[rec["name"]] = rec
+            elif kind == "sketch":
+                stem = rec.get("name", "sketch")
+                for field, v in rec.items():
+                    if field in ("type", "name"):
+                        continue
+                    if isinstance(v, (int, float)) and v == v:
+                        by_name[f"{stem}.{field}"] = {
+                            "type": "gauge",
+                            "name": f"{stem}.{field}",
+                            "value": v,
+                        }
     if total == 0:
         raise SystemExit(f"bench_gate: metrics sidecar {path} is empty")
     return by_name, total
@@ -230,9 +254,35 @@ def self_test(base, threshold, noise_sigma):
     if not check_kernels({}, {"kernel": "avx2"}, False, sink):
         print("bench_gate self-test: FAIL (unstamped baseline refused)")
         return 1
+
+    # Sketch expansion: telemetry summary lines must gate like gauges.
+    with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                     delete=False) as f:
+        f.write(json.dumps({"type": "sketch", "name": "op.add",
+                            "count": 42, "p50_us": 1.5, "p99_us": 12.0,
+                            "max_us": 30.0, "mean_us": 2.0}) + "\n")
+        f.write(json.dumps({"type": "counter", "name": "tree.cas_failures",
+                            "value": 7}) + "\n")
+        sketch_path = f.name
+    try:
+        passed = check_metrics(sketch_path,
+                               ["op.add.count", "tree.cas_failures"],
+                               ["op.add.p99_us=100"], out=sink) == 0
+        tripped = check_metrics(sketch_path, [],
+                                ["op.add.p99_us=1"], out=sink) == 1
+    finally:
+        os.unlink(sketch_path)
+    if not passed:
+        print("bench_gate self-test: FAIL (sketch fields not gateable)")
+        return 1
+    if not tripped:
+        print("bench_gate self-test: FAIL "
+              "(p99 over --require-under limit slipped through)")
+        return 1
+
     print("bench_gate self-test: OK "
           "(clean run passes, 20% synthetic regression fails, "
-          "kernel mismatch refused)")
+          "kernel mismatch refused, sketch quantiles gate)")
     return 0
 
 
